@@ -1,0 +1,165 @@
+"""Ablations -- what the design choices buy (and cost).
+
+Three knobs the paper's design turns, each measured with the knob on and
+off:
+
+* A1: allocation locality (the `near` hint passed to the allocator);
+* A2: the serial-number lease (identity safety vs descriptor writes);
+* A3: the label-check discipline itself (robustness vs raw writes).
+"""
+
+import pytest
+
+from repro.disk import Action, DiskDrive, DiskImage, Header, Label, PartCommand, diablo31, tiny_test_disk, value_words
+from repro.fs import FileSystem
+from repro.fs.allocator import PageAllocator
+from repro.fs.file import AltoFile
+from repro.fs.names import FileId, make_serial
+from repro.fs.page import PageIO
+
+from paper import report
+
+
+# ----------------------------------------------------------------------------
+# A1: allocation locality
+# ----------------------------------------------------------------------------
+
+
+class ScatterAllocator(PageAllocator):
+    """The ablation: ignore the locality hint entirely."""
+
+    def __init__(self, shape, seed=13):
+        super().__init__(shape)
+        import random
+
+        self._rng = random.Random(seed)
+
+    def candidates(self, near=None):
+        free = [a for a in range(self.shape.total_sectors()) if self.is_free(a)]
+        self._rng.shuffle(free)
+        return iter(free)
+
+
+def _grow_and_read(allocator_class):
+    image = DiskImage(diablo31())
+    drive = DiskDrive(image)
+    pio = PageIO(drive)
+    allocator = allocator_class(image.shape)
+    allocator.reserve([0])
+    file = AltoFile.create(pio, allocator, FileId(make_serial(1)), "grown.dat")
+    payload = bytes(range(256)) * 120  # 61,440 bytes
+    file.write_data(payload)
+    watch = drive.clock.stopwatch()
+    assert file.read_data() == payload
+    return watch.elapsed_s
+
+
+def test_a1_locality_hint(benchmark):
+    def measure():
+        return _grow_and_read(PageAllocator), _grow_and_read(ScatterAllocator)
+
+    near_s, scatter_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["near_s"] = near_s
+    benchmark.extra_info["scatter_s"] = scatter_s
+    report(
+        "A1",
+        "(design choice) allocate near the previous page",
+        f"sequential read of a 121-page file: near-allocation {near_s:.2f}s "
+        f"vs no-locality allocation {scatter_s:.2f}s "
+        f"({scatter_s / near_s:.1f}x worse without the hint)",
+    )
+    assert scatter_s > 3 * near_s
+
+
+# ----------------------------------------------------------------------------
+# A2: the serial lease
+# ----------------------------------------------------------------------------
+
+
+def test_a2_serial_lease(benchmark):
+    """Identity safety costs one descriptor rewrite per lease of serials;
+    a lease of 1 (sync every file) would be prohibitive."""
+
+    def measure():
+        costs = {}
+        for lease in (1, 16, 64, 256):
+            import repro.fs.filesystem as fsmod
+
+            original = fsmod.SERIAL_LEASE
+            fsmod.SERIAL_LEASE = lease
+            try:
+                image = DiskImage(tiny_test_disk(cylinders=40))
+                fs = FileSystem.format(DiskDrive(image))
+                watch = fs.drive.clock.stopwatch()
+                for i in range(64):
+                    fs.new_fid()
+                costs[lease] = watch.elapsed_s
+            finally:
+                fsmod.SERIAL_LEASE = original
+        return costs
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for lease, seconds in costs.items():
+        benchmark.extra_info[f"lease{lease}_s"] = seconds
+    report(
+        "A2",
+        "(design choice) lease serial numbers in blocks so a crash skips, "
+        "never reuses, identities",
+        "64 identities cost " + ", ".join(
+            f"{s:.2f}s at lease={l}" for l, s in sorted(costs.items())
+        ),
+    )
+    assert costs[1] > 5 * costs[64]
+    assert costs[256] <= costs[16]
+
+
+# ----------------------------------------------------------------------------
+# A3: what the label discipline costs
+# ----------------------------------------------------------------------------
+
+
+def test_a3_label_discipline_price(benchmark):
+    """The claim protocol costs ~1 revolution per allocation over a
+    hypothetical unchecked allocator that trusts its free list blindly --
+    the measured price of "accidental overwriting ... quite unlikely"."""
+
+    def measure():
+        shape = diablo31()
+        fid = FileId(make_serial(1))
+
+        # Checked: the real claim protocol.
+        image = DiskImage(shape)
+        drive = DiskDrive(image)
+        pio = PageIO(drive)
+        allocator = PageAllocator(shape)
+        watch = drive.clock.stopwatch()
+        for pn in range(50):
+            allocator.allocate(pio, fid.label_for(pn, length=512), [pn])
+        checked_s = watch.elapsed_s
+
+        # Unchecked ablation: write header+label+value blind (one pass),
+        # trusting the map -- fast, and one stale bit destroys data.
+        image = DiskImage(shape)
+        drive = DiskDrive(image)
+        watch = drive.clock.stopwatch()
+        address = 1
+        for pn in range(50):
+            drive.write_header_label_value(
+                address + pn, Header(image.pack_id, address + pn),
+                fid.label_for(pn, length=512), value_words([pn]),
+            )
+        unchecked_s = watch.elapsed_s
+        return checked_s, unchecked_s
+
+    checked_s, unchecked_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["checked_s"] = checked_s
+    benchmark.extra_info["unchecked_s"] = unchecked_s
+    price_rev = (checked_s - unchecked_s) / 50 / (diablo31().rotation_ms / 1000)
+    report(
+        "A3",
+        "(design trade) robustness costs one revolution per allocation",
+        f"50 checked allocations {checked_s:.2f}s vs 50 blind writes "
+        f"{unchecked_s:.2f}s = {price_rev:.2f} revolutions per page of "
+        f"safety margin",
+    )
+    assert 0.7 < price_rev < 1.5

@@ -1,0 +1,60 @@
+"""E1 -- Scavenging time (section 3.5).
+
+Claim: scavenging "takes about a minute for a 2.5 megabyte disk".
+
+Regenerates: simulated scavenge time on a realistically loaded standard
+disk, plus a size sweep (half / full / double) showing time scales with
+the sectors swept.
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskShape
+from repro.fs import Scavenger
+
+from paper import populated_disk, report
+
+
+def scavenge_loaded_disk(shape=None, files=150):
+    image, fs, payloads = populated_disk(shape=shape, files=files)
+    scavenge_report = Scavenger(DiskDrive(image)).scavenge()
+    return scavenge_report
+
+
+def test_scavenge_full_disk_about_a_minute(benchmark):
+    result = benchmark.pedantic(scavenge_loaded_disk, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.elapsed_s
+    benchmark.extra_info["sectors"] = result.sectors_swept
+    report(
+        "E1",
+        "scavenging takes about a minute for a 2.5 MB disk",
+        f"{result.elapsed_s:.1f} simulated seconds for {result.sectors_swept} sectors "
+        f"({result.files_found} files)",
+        "same order of magnitude" if 15 <= result.elapsed_s <= 120 else "MISMATCH",
+    )
+    breakdown = {k: round(v / 1000, 1) for k, v in sorted(result.breakdown_ms.items())}
+    print(f"[E1] breakdown (s): {breakdown}")
+    assert 15.0 < result.elapsed_s < 120.0
+    assert result.table_fits_in_memory
+
+
+def test_scavenge_scales_with_disk_size(benchmark):
+    def sweep():
+        times = {}
+        for cylinders in (102, 203, 406):
+            shape = DiskShape(name=f"{cylinders}cyl", cylinders=cylinders)
+            files = max(20, 150 * cylinders // 203)
+            times[cylinders] = scavenge_loaded_disk(shape=shape, files=files).elapsed_s
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for cylinders, seconds in times.items():
+        benchmark.extra_info[f"cyl{cylinders}_s"] = seconds
+    report(
+        "E1",
+        "scavenge time follows disk size (label sweep dominates)",
+        " / ".join(f"{c} cyl: {s:.1f}s" for c, s in sorted(times.items())),
+    )
+    assert times[102] < times[203] < times[406]
+    # Roughly linear: doubling the disk should not much more than double it.
+    assert times[406] / times[203] < 3.0

@@ -1,0 +1,56 @@
+"""E6 -- Raw disk transfer rate (section 2).
+
+Claim: each drive "can transfer 64k words in about one second".
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, Label, diablo31, diablo44, value_words
+
+from paper import report
+
+WORDS_64K = 65536
+
+
+def sequential_read_seconds(shape):
+    """Claim 256 consecutive sectors, then read them back-to-back."""
+    drive = DiskDrive(DiskImage(shape))
+    labels = []
+    for address in range(256):
+        label = Label(serial=0x4000_0001, version=1, page_number=address + 1, length=0)
+        drive.check_label_then_rewrite(address, Label.free(), label, value_words([]))
+        labels.append(label)
+    watch = drive.clock.stopwatch()
+    for address in range(256):
+        drive.check_label_read_value(address, labels[address])
+    return watch.elapsed_s
+
+
+def test_64k_words_in_about_a_second(benchmark):
+    seconds = benchmark.pedantic(lambda: sequential_read_seconds(diablo31()), rounds=1, iterations=1)
+    benchmark.extra_info["seconds_64k_words"] = seconds
+    benchmark.extra_info["words_per_second"] = WORDS_64K / seconds
+    report(
+        "E6",
+        "the disk can transfer 64k words in about one second",
+        f"{seconds:.2f}s for 64k words ({WORDS_64K / seconds:,.0f} words/s)",
+    )
+    assert 0.7 < seconds < 1.3
+
+
+def test_big_disk_twice_the_performance(benchmark):
+    """Section 2: the other disk has "about twice the size and
+    performance"."""
+
+    def measure_both():
+        return sequential_read_seconds(diablo31()), sequential_read_seconds(diablo44())
+
+    small_s, big_s = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    ratio = small_s / big_s
+    benchmark.extra_info["speed_ratio"] = ratio
+    report(
+        "E6b",
+        "the big disk is about twice as fast",
+        f"standard {small_s:.2f}s vs big {big_s:.2f}s for 64k words ({ratio:.1f}x)",
+    )
+    assert 1.3 < ratio < 2.5

@@ -1,0 +1,83 @@
+"""E5 -- InLoad/OutLoad timing (section 4.1).
+
+Claim: each routine "requires about a second to complete its operation".
+
+Regenerates: simulated time for OutLoad and InLoad of a 64k-word world
+against an existing state file (the steady-state case the paper measures),
+plus the slow first-time "installation" cost of creating the state file.
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, diablo31
+from repro.fs import FileSystem
+from repro.world import Machine, WorldSwapper
+
+from paper import report
+
+
+def build():
+    image = DiskImage(diablo31())
+    fs = FileSystem.format(DiskDrive(image))
+    machine = Machine()
+    machine.memory.write_block(0x1000, list(range(256)))
+    return fs, WorldSwapper(fs, machine)
+
+
+def measure():
+    fs, swapper = build()
+    clock = fs.drive.clock
+
+    t0 = clock.now_s
+    swapper.outload("World.state", "prog", "phase")
+    create_s = clock.now_s - t0
+
+    t0 = clock.now_s
+    swapper.outload("World.state", "prog", "phase")
+    outload_s = clock.now_s - t0
+
+    t0 = clock.now_s
+    swapper.inload("World.state")
+    inload_s = clock.now_s - t0
+    return create_s, outload_s, inload_s
+
+
+def test_world_swap_about_a_second(benchmark):
+    create_s, outload_s, inload_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"first_outload_s": create_s, "outload_s": outload_s, "inload_s": inload_s}
+    )
+    report(
+        "E5",
+        "OutLoad and InLoad each require about a second",
+        f"OutLoad {outload_s:.2f}s, InLoad {inload_s:.2f}s (existing state file); "
+        f"first OutLoad (file creation) {create_s:.1f}s",
+    )
+    assert 0.5 < outload_s < 2.5
+    assert 0.5 < inload_s < 2.5
+    # Creating the state file is the slow installation path.
+    assert create_s > 3 * outload_s
+
+
+def test_coroutine_switch_cost(benchmark):
+    """One activity switch (save A, restore B) is two world operations:
+    the printing server pays this per spooler/printer swap."""
+
+    def measure_switch():
+        fs, swapper = build()
+        swapper.outload("A.state", "a", "x")
+        swapper.outload("B.state", "b", "y")
+        clock = fs.drive.clock
+        t0 = clock.now_s
+        swapper.outload("A.state", "a", "x")
+        swapper.inload("B.state")
+        return clock.now_s - t0
+
+    switch_s = benchmark.pedantic(measure_switch, rounds=1, iterations=1)
+    benchmark.extra_info["switch_s"] = switch_s
+    report(
+        "E5b",
+        "a coroutine switch = OutLoad + InLoad (about two seconds)",
+        f"{switch_s:.2f}s per switch",
+    )
+    assert 1.0 < switch_s < 5.0

@@ -1,0 +1,63 @@
+"""Shared helpers for the paper-claim benchmarks.
+
+Every benchmark prints a `paper vs measured` table row and asserts the
+claim's *shape* (who wins, rough factor).  Absolute simulated numbers are
+deterministic model outputs, so the assertions are hard, not flaky.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.disk import DiskDrive, DiskImage, DiskShape, FaultInjector, diablo31
+from repro.fs import FileSystem, Scavenger
+
+
+def report(experiment: str, claim: str, measured: str, verdict: str = "matches") -> None:
+    print(f"\n[{experiment}] paper: {claim}")
+    print(f"[{experiment}] measured: {measured}  ({verdict})")
+
+
+def populated_disk(
+    shape: Optional[DiskShape] = None,
+    files: int = 150,
+    mean_bytes: int = 6000,
+    seed: int = 1979,
+    deletions: int = 30,
+) -> Tuple[DiskImage, FileSystem, Dict[str, bytes]]:
+    """A realistically loaded pack: many files, some churn, synced map."""
+    image = DiskImage(shape if shape is not None else diablo31())
+    fs = FileSystem.format(DiskDrive(image))
+    rng = random.Random(seed)
+    payloads: Dict[str, bytes] = {}
+    for i in range(files):
+        name = f"file{i:04}.dat"
+        size = max(0, int(rng.gauss(mean_bytes, mean_bytes / 2)))
+        data = bytes(rng.randrange(256) for _ in range(min(size, 20_000)))
+        fs.create_file(name).write_data(data)
+        payloads[name] = data
+    victims = rng.sample(sorted(payloads), min(deletions, len(payloads)))
+    for name in victims:
+        fs.delete_file(name)
+        del payloads[name]
+    fs.sync()
+    return image, fs, payloads
+
+
+def scatter_file(image: DiskImage, fs: FileSystem, name: str, payload: bytes, seed: int = 7):
+    """Create *name* and scatter its pages over the whole disk, repairing
+    links with a scavenge.  Returns a freshly mounted FileSystem."""
+    rng = random.Random(seed)
+    fs.create_file(name).write_data(payload)
+    fs.sync()
+    injector = FaultInjector(image, seed=seed)
+    file = fs.open_file(name)
+    addresses = [file.page_name(pn).address for pn in range(file.page_count())]
+    free = [s.header.address for s in image.sectors() if s.label.is_free]
+    rng.shuffle(free)
+    for address in addresses:
+        injector.swap_sectors(address, free.pop())
+    clock = fs.drive.clock
+    Scavenger(DiskDrive(image, clock=clock)).scavenge()
+    return FileSystem.mount(DiskDrive(image, clock=clock))

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Debugging by world swap (section 4).
+
+"When a breakpoint is encountered or when the user strikes a special DEBUG
+key on the keyboard, the state of the machine is written on a disk file,
+and the machine state is restored from a file that contains the debugger.
+The debugging program may examine or alter the state of the faulty program
+by reading or writing portions of the file that was written as a result of
+the breakpoint.  The debugger can later resume execution of the original
+program by restoring the machine state from the file.  The original program
+and the debugger thus operate as coroutines."
+
+The buggy program below computes a checksum over a table in simulated
+memory but was "linked" with a wrong table length.  At its breakpoint it
+OutLoads itself and InLoads the debugger, which patches the length word
+*in the state file on disk* -- never touching the live machine -- and
+resumes the victim.
+"""
+
+from repro import (
+    DiskDrive,
+    DiskImage,
+    FileSystem,
+    Halt,
+    Machine,
+    ProgramRegistry,
+    Transfer,
+    WorldEngine,
+    WorldProgram,
+    diablo31,
+)
+from repro.world.statefile import unpack_state, pack_state
+from repro.world.machine import REGISTER_COUNT
+
+TABLE_BASE = 0x2000
+TABLE_LENGTH_WORD = 0x1FFF  # the "linked-in" length, one word below the table
+VICTIM_STATE = "Victim.state"
+DEBUGGER_STATE = "Debugger.state"
+
+registry = ProgramRegistry()
+
+
+@registry.register
+class Victim(WorldProgram):
+    name = "victim"
+
+    def phase_start(self, ctx, message):
+        memory = ctx.machine.memory
+        memory.write_block(TABLE_BASE, list(range(1, 101)))  # 100 entries
+        memory[TABLE_LENGTH_WORD] = 75  # BUG: linked with the wrong length
+        return self.phase_checksum(ctx, message)
+
+    def phase_checksum(self, ctx, message):
+        memory = ctx.machine.memory
+        length = memory[TABLE_LENGTH_WORD]
+        total = sum(memory.read_block(TABLE_BASE, length)) & 0xFFFF
+        expected = sum(range(1, 101)) & 0xFFFF
+        if total != expected:
+            # Breakpoint: save the world, summon the debugger.
+            print(f"victim: checksum {total} != {expected}; hitting breakpoint")
+            ctx.outload(VICTIM_STATE, "checksum")
+            return Transfer(DEBUGGER_STATE, message=[length])
+        print(f"victim: checksum {total} correct, halting")
+        return Halt(total)
+
+
+@registry.register
+class Debugger(WorldProgram):
+    name = "debugger"
+
+    def phase_start(self, ctx, message):
+        reported_length = message[0] if message else None
+        print(f"debugger: victim reported table length {reported_length}")
+        # Examine and alter the VICTIM'S STATE FILE, not live memory.
+        state_file = ctx.fs.open_file(VICTIM_STATE)
+        memory_words, registers, program, phase, typeahead = unpack_state(
+            state_file.read_data()
+        )
+        print(f"debugger: state file holds program {program!r} at phase {phase!r}")
+        print(f"debugger: table[0..3] in the image: {memory_words[TABLE_BASE:TABLE_BASE+4]}")
+        memory_words[TABLE_LENGTH_WORD] = 100  # the patch
+        state_file.write_data(
+            pack_state(memory_words, registers, program, phase, typeahead)
+        )
+        print("debugger: patched length word in the state file; resuming victim")
+        ctx.outload(DEBUGGER_STATE, "start")
+        return Transfer(VICTIM_STATE)
+
+
+def main() -> None:
+    image = DiskImage(diablo31())
+    drive = DiskDrive(image)
+    fs = FileSystem.format(drive)
+    engine = WorldEngine(Machine(), fs, registry)
+    # The debugger must exist as a world before anyone can InLoad it.
+    engine.swapper.outload(DEBUGGER_STATE, "debugger", "start")
+
+    result = engine.run("victim")
+    print(f"final result: {result} after {len(engine.transfer_log)} world transfers")
+    assert result == sum(range(1, 101)) & 0xFFFF
+
+
+if __name__ == "__main__":
+    main()

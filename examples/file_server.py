@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""A file server on the big disk, serving a diskless client (section 5.2).
+
+Two of the paper's configurations in one scenario:
+
+* "a file server program that uses only the non-standard big disk
+  nevertheless uses the standard disk stream package" -- the server runs a
+  completely standard FileSystem over the Diablo-44-class drive; and
+* "The display, keyboard, and storage-allocation packages have been
+  assembled to form an operating system for use without a disk, used to
+  support ... programs that depend on network communications rather than on
+  local disk storage" -- the client is that diskless assembly, fetching
+  files over the wire into zone storage.
+
+The request protocol is deliberately homemade (an afternoon's user code):
+openness means nothing in the system had to change to support it.
+"""
+
+from repro import DiskDrive, DiskImage, FileSystem, diablo44
+from repro.errors import FileNotFound
+from repro.net import Packet, PacketNetwork, TYPE_CONTROL, network_read_stream, network_write_stream
+from repro.os import DisklessOS
+from repro.streams import open_read_stream, open_write_stream
+from repro.words import bytes_to_words, string_to_words, words_to_bytes, words_to_string
+
+SERVER = "fileserver"
+CLIENT = "workstation"
+
+
+class FileServer:
+    """Serves GET <name> requests from its (big-disk) file system."""
+
+    def __init__(self, fs: FileSystem, network: PacketNetwork, host: str = SERVER) -> None:
+        self.fs = fs
+        self.network = network
+        self.host = host
+        self.requests_served = 0
+
+    def poll(self) -> int:
+        """Handle every pending request; returns requests served."""
+        served = 0
+        while True:
+            packet = self.network.receive(self.host)
+            if packet is None:
+                return served
+            if packet.ptype != TYPE_CONTROL:
+                continue
+            name = words_to_string(list(packet.payload))
+            self._serve(packet.source, name)
+            served += 1
+            self.requests_served += 1
+
+    def _serve(self, client: str, name: str) -> None:
+        try:
+            file = self.fs.open_file(name)
+            source = open_read_stream(file, update_dates=False)
+            data = bytearray()
+            while not source.endof():
+                data.append(source.get())
+            source.close()
+            data = bytes(data)
+        except FileNotFound:
+            data = f"?no such file: {name}".encode()
+        # Length-prefixed reply: byte count (2 words), then the data words,
+        # streamed straight off the standard disk stream package.
+        reply = network_write_stream(self.network, self.host, client)
+        reply.put(len(data) >> 16)
+        reply.put(len(data) & 0xFFFF)
+        for word in bytes_to_words(data):
+            reply.put(word)
+        reply.close()
+
+
+def fetch(client: DisklessOS, network: PacketNetwork, name: str, server: FileServer) -> bytes:
+    """The diskless client's side: request, let the server run, read."""
+    # Requests travel as control packets so data packets stay clean.
+    network.send(Packet(client.host, SERVER, TYPE_CONTROL,
+                        tuple(string_to_words(name))))
+    server.poll()
+
+    incoming = network_read_stream(network, client.host)
+    high, low = incoming.get(), incoming.get()
+    nbytes = (high << 16) | low
+    words = []
+    while not incoming.endof():
+        words.append(incoming.get())
+    return words_to_bytes(words, nbytes=min(nbytes, len(words) * 2))
+
+
+def main() -> None:
+    # --- the server machine: standard software, non-standard big disk --------
+    big_disk = DiskImage(diablo44())
+    server_fs = FileSystem.format(DiskDrive(big_disk))
+    print(f"server pack: {big_disk.shape.name}, {big_disk.shape.capacity_bytes():,} bytes")
+
+    for name, text in {
+        "readme.txt": "files live on the big disk; clients have none at all",
+        "sources.bcpl": "get Streams.bcpl\nget Disks.bcpl\nget Juntas.bcpl",
+    }.items():
+        stream = open_write_stream(server_fs.create_file(name))
+        for b in text.encode():
+            stream.put(b)
+        stream.close()
+
+    # --- the wire and the diskless client -------------------------------------
+    network = PacketNetwork(clock=server_fs.drive.clock)
+    network.attach(SERVER)
+    network.attach(CLIENT)
+    server = FileServer(server_fs, network)
+    client = DisklessOS(network=network, host=CLIENT)
+
+    # --- fetch files across; display them on the client's screen ---------------
+    for name in ("readme.txt", "sources.bcpl", "missing.txt"):
+        data = fetch(client, network, name, server)
+        client.display.write(f"--- {name} ---\n{data.decode('ascii', 'replace')}\n")
+
+    print(f"requests served: {server.requests_served}")
+    print(f"network: {network.delivered} packets delivered")
+    print()
+    print("client display:")
+    for line in client.display.visible_lines():
+        print("  |", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The printing server of section 4: activity switching by world swap.
+
+Two tasks share one machine by saving and restoring whole machine states:
+the spooler accepts files from the network and queues them on disk; the
+printer drains the queue onto the hardware.  Each switch is a real
+InLoad/OutLoad pair costing about a second of simulated disk time -- watch
+the printer interrupt a long job the moment new network traffic arrives.
+"""
+
+from repro import DiskDrive, DiskImage, FileSystem, Machine, ProgramRegistry, WorldEngine, diablo31
+from repro.net import (
+    PacketNetwork,
+    Packet,
+    PrinterDevice,
+    SHUTDOWN_WORD,
+    TYPE_CONTROL,
+    bootstrap_printer_state,
+    build_printing_server,
+    send_file,
+)
+
+HOST = "printserver"
+
+
+def main() -> None:
+    image = DiskImage(diablo31())
+    drive = DiskDrive(image)
+    fs = FileSystem.format(drive)
+    machine = Machine()
+    registry = ProgramRegistry()
+
+    network = PacketNetwork(clock=drive.clock)
+    for host in (HOST, "lampson", "sproull", "mcdaniel"):
+        network.attach(host)
+    printer = PrinterDevice(drive.clock, ms_per_line=25.0)
+    build_printing_server(registry, network, printer, host=HOST)
+
+    engine = WorldEngine(machine, fs, registry)
+    bootstrap_printer_state(engine)
+
+    # Three users submit jobs; the last arrives while printing is underway
+    # (it is already queued on the wire when the server starts).
+    send_file(network, "lampson", HOST, "osreview",
+              "\n".join(f"page {i}: on the openness of systems" for i in range(12)).encode())
+    send_file(network, "sproull", HOST, "figures",
+              b"figure 1: the label\nfigure 2: the ladder\nfigure 3: the junta")
+    send_file(network, "mcdaniel", HOST, "patch",
+              b"please reprint page 7\n")
+    network.send(Packet("lampson", HOST, TYPE_CONTROL, (SHUTDOWN_WORD,)))
+
+    watch = drive.clock.stopwatch()
+    outcome, jobs = engine.run("spooler")
+    elapsed = watch.elapsed_s
+    breakdown = watch.breakdown_ms()
+
+    print(f"server outcome: {outcome}")
+    print("jobs printed (title, lines):")
+    for title, lines in jobs:
+        print(f"  {title:10s} {lines} lines")
+    print(f"world transfers: {len(engine.transfer_log)} "
+          f"({' -> '.join(engine.transfer_log)})")
+    print(f"OutLoads: {engine.swapper.outloads}, InLoads: {engine.swapper.inloads}")
+    disk_ms = sum(breakdown.get(c, 0.0) for c in ("disk.seek", "disk.rotation", "disk.transfer"))
+    print(f"simulated time: {elapsed:.1f}s "
+          f"(printing {breakdown.get('printer', 0.0)/1000:.1f}s, disk {disk_ms/1000:.1f}s)")
+    print()
+    print("printed output:")
+    for line in printer.output:
+        print("  |", line)
+
+
+if __name__ == "__main__":
+    main()

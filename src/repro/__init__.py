@@ -1,0 +1,113 @@
+"""repro -- a reproduction of Lampson & Sproull's Alto operating system.
+
+"An Open Operating System for a Single-User Machine", SOSP 1979.
+
+The package is organized the way the paper organizes the system:
+
+* :mod:`repro.disk`    -- the simulated drive (sections 2, 3.3)
+* :mod:`repro.memory`  -- 64k-word memory and zones (sections 2, 5.2)
+* :mod:`repro.fs`      -- pages, files, directories, hints, scavenger (section 3)
+* :mod:`repro.streams` -- OS6-style stream objects (section 2)
+* :mod:`repro.world`   -- InLoad/OutLoad world swapping (section 4)
+* :mod:`repro.os`      -- Junta levels, loader, Executive (section 5)
+* :mod:`repro.net`     -- the packet network and printing server (section 4)
+
+The top level re-exports the objects a typical user needs; every smaller
+component stays importable from its subpackage -- the openness principle
+the paper is about.  See README.md for a quickstart and DESIGN.md for the
+complete inventory.
+"""
+
+from . import errors
+from .clock import SimClock
+from .disk import (
+    DiskDrive,
+    DiskImage,
+    DiskShape,
+    FaultInjector,
+    diablo31,
+    diablo44,
+    tiny_test_disk,
+)
+from .fs import (
+    AltoFile,
+    Compactor,
+    ConsecutiveReader,
+    Directory,
+    FileSystem,
+    FullName,
+    HintLadder,
+    KthPageHints,
+    Scavenger,
+    compact,
+    scavenge,
+)
+from .memory import Memory, Region, Zone
+from .os import AltoOS, CodeFile, Fixup, JuntaController, write_code_file
+from .streams import (
+    Stream,
+    copy_stream,
+    open_read_stream,
+    open_write_stream,
+    read_string,
+    write_string,
+)
+from .world import (
+    Halt,
+    Machine,
+    ProgramRegistry,
+    Transfer,
+    WorldEngine,
+    WorldProgram,
+    coroutine_call,
+    create_boot_file,
+    hardware_boot,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AltoFile",
+    "AltoOS",
+    "CodeFile",
+    "Compactor",
+    "ConsecutiveReader",
+    "Directory",
+    "DiskDrive",
+    "DiskImage",
+    "DiskShape",
+    "FaultInjector",
+    "FileSystem",
+    "Fixup",
+    "FullName",
+    "Halt",
+    "HintLadder",
+    "JuntaController",
+    "KthPageHints",
+    "Machine",
+    "Memory",
+    "ProgramRegistry",
+    "Region",
+    "Scavenger",
+    "SimClock",
+    "Stream",
+    "Transfer",
+    "WorldEngine",
+    "WorldProgram",
+    "Zone",
+    "compact",
+    "copy_stream",
+    "coroutine_call",
+    "create_boot_file",
+    "diablo31",
+    "diablo44",
+    "errors",
+    "hardware_boot",
+    "open_read_stream",
+    "open_write_stream",
+    "read_string",
+    "scavenge",
+    "tiny_test_disk",
+    "write_code_file",
+    "write_string",
+]

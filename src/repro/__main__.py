@@ -1,0 +1,85 @@
+"""Run an interactive simulated Alto: ``python -m repro``.
+
+Boots a freshly formatted pack (or ``--demo`` for a preloaded one) and
+connects your terminal to the Executive.  Every command you type runs
+against the simulated disk; ``quit`` exits.  This is a convenience shell
+around :class:`repro.os.AltoOS` -- everything it does is available as
+library calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .disk import DiskDrive, DiskImage, diablo31
+from .os import AltoOS
+
+
+def build_demo(os: AltoOS) -> None:
+    """Preload files that make exploring pleasant."""
+    os.fs.create_file("ReadMe.txt").write_data(
+        b"Welcome to the simulated Alto.\n"
+        b"Try: ls, type ReadMe.txt, write note.txt some text, free,\n"
+        b"     copy ReadMe.txt Copy.txt, scavenge, compact, @Demo, quit\n"
+    )
+    os.fs.create_file("Demo.cm").write_data(
+        b"write demo-output.txt the command file ran\n"
+        b"type demo-output.txt\n"
+        b"free\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive Executive on a simulated Alto (SOSP 1979 reproduction)",
+    )
+    parser.add_argument("--demo", action="store_true", help="preload demo files")
+    parser.add_argument(
+        "--script", metavar="TEXT",
+        help="run these ;-separated commands instead of reading stdin",
+    )
+    args = parser.parse_args(argv)
+
+    image = DiskImage(diablo31())
+    drive = DiskDrive(image)
+    os = AltoOS.format(drive)
+    if args.demo:
+        build_demo(os)
+
+    print(f"Alto OS reproduction -- {image.shape.name}, "
+          f"{os.fs.free_pages()} free pages.  'quit' to exit.")
+
+    if args.script is not None:
+        script = "\n".join(part.strip() for part in args.script.split(";")) + "\nquit\n"
+        before = len(os.display.text())
+        output = os.run_executive(script)
+        print(output)
+        print(f"[simulated time: {drive.clock.now_s:.1f}s, "
+              f"{drive.stats.commands} disk commands]")
+        return 0
+
+    while True:
+        try:
+            line = input("> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        scrolled_before = os.display.scrolled
+        snapshot = os.display.text()
+        os.executive.execute(line)
+        after = os.display.text()
+        # Print only what the command added to the display.
+        if after.startswith(snapshot) and os.display.scrolled == scrolled_before:
+            sys.stdout.write(after[len(snapshot):])
+        else:
+            sys.stdout.write(after + "\n")
+        sys.stdout.flush()
+        if not line.strip().lower().startswith("quit") and line.strip().lower() != "quit":
+            continue
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The simulated Alto disk: geometry, sectors, drive, timing, faults.
+
+This package is the hardware substrate beneath the file system of
+sections 3.1-3.3 of the paper.  It exposes exactly the contract the paper
+relies on: per-part sector commands (read / check / write on header, label,
+value independently), the 0-wildcard check semantics, and a seek/rotation
+timing model calibrated to the Diablo Model 31.
+"""
+
+from .drive import Action, DiskDrive, PartCommand, TransferResult
+from .faults import FaultInjector
+from .geometry import NIL, DiskShape, diablo31, diablo44, tiny_test_disk
+from .image import DiskImage
+from .sector import (
+    DIRECTORY_SERIAL_FLAG,
+    HEADER_WORDS,
+    LABEL_WORDS,
+    SERIAL_BAD,
+    SERIAL_FREE,
+    VALUE_WORDS,
+    Header,
+    Label,
+    Sector,
+    value_words,
+)
+from .timing import ROTATION, SEEK, TRANSFER, ArmTimer
+from .trace import DiskTrace, TraceRecord
+
+__all__ = [
+    "Action",
+    "ArmTimer",
+    "DIRECTORY_SERIAL_FLAG",
+    "DiskDrive",
+    "DiskImage",
+    "DiskShape",
+    "DiskTrace",
+    "TraceRecord",
+    "FaultInjector",
+    "HEADER_WORDS",
+    "Header",
+    "LABEL_WORDS",
+    "Label",
+    "NIL",
+    "PartCommand",
+    "ROTATION",
+    "SEEK",
+    "SERIAL_BAD",
+    "SERIAL_FREE",
+    "Sector",
+    "TRANSFER",
+    "TransferResult",
+    "VALUE_WORDS",
+    "diablo31",
+    "diablo44",
+    "tiny_test_disk",
+    "value_words",
+]

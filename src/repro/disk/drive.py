@@ -1,0 +1,316 @@
+"""The simulated drive: per-part sector commands with hardware semantics.
+
+Section 3.3: "A single disk operation can perform read, check or write
+actions independently on each of these parts [header, label, value], with
+the restriction that once a write is begun, it must continue through the
+rest of the sector.  A check action compares data on the disk with
+corresponding data taken from memory, word by word, and aborts the entire
+operation if they don't match.  If a memory word is 0, however, it is
+replaced by the corresponding disk word, so that a check action is a simple
+kind of pattern match."
+
+The drive is policy-free: it knows nothing about files, allocation, or the
+label-write discipline.  Those live in ``repro.fs``.  What the drive does
+enforce is the hardware contract above, plus the timing model of
+``timing.ArmTimer``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..clock import SimClock
+from ..errors import BadSectorError, CheckError, LabelCheckError
+from .image import DiskImage
+from .sector import HEADER_WORDS, LABEL_WORDS, VALUE_WORDS, Header, Label, Sector
+from .timing import ArmTimer
+
+
+class Action(enum.Enum):
+    """What to do with one part of a sector during a command."""
+
+    NONE = "none"
+    READ = "read"
+    CHECK = "check"
+    WRITE = "write"
+
+
+#: Part names in the order they pass under the head.
+PART_ORDER = ("header", "label", "value")
+_PART_SIZES = {"header": HEADER_WORDS, "label": LABEL_WORDS, "value": VALUE_WORDS}
+
+
+@dataclass
+class PartCommand:
+    """One part's action and (for CHECK/WRITE) its memory buffer."""
+
+    action: Action = Action.NONE
+    data: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.action in (Action.CHECK, Action.WRITE) and self.data is None:
+            raise ValueError(f"{self.action.value} requires a data buffer")
+
+
+@dataclass
+class TransferResult:
+    """Buffers produced by a command: disk contents for each READ or CHECK
+    part (a CHECK buffer has its 0-wildcards replaced by disk words)."""
+
+    header: Optional[List[int]] = None
+    label: Optional[List[int]] = None
+    value: Optional[List[int]] = None
+
+    def label_object(self) -> Label:
+        if self.label is None:
+            raise ValueError("label was not read by this transfer")
+        return Label.unpack(self.label)
+
+    def header_object(self) -> Header:
+        if self.header is None:
+            raise ValueError("header was not read by this transfer")
+        return Header.unpack(self.header)
+
+
+class DriveStats:
+    """Operation counts kept by the drive (benchmarks decompose costs here)."""
+
+    def __init__(self) -> None:
+        self.commands = 0
+        self.label_checks = 0
+        self.label_check_failures = 0
+        self.label_writes = 0
+        self.value_reads = 0
+        self.value_writes = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class DiskDrive:
+    """One spindle holding one pack, exposing the per-part command interface."""
+
+    def __init__(
+        self,
+        image: DiskImage,
+        clock: Optional[SimClock] = None,
+        fault_injector=None,
+    ) -> None:
+        self.image = image
+        self.clock = clock if clock is not None else SimClock()
+        self.timer = ArmTimer(image.shape, self.clock)
+        self.stats = DriveStats()
+        self.fault_injector = fault_injector
+        #: Optional observer (see :class:`repro.disk.trace.DiskTrace`).
+        self.trace = None
+
+    @property
+    def shape(self):
+        return self.image.shape
+
+    # ------------------------------------------------------------------------
+    # The fundamental command
+    # ------------------------------------------------------------------------
+
+    def transfer(
+        self,
+        address: int,
+        header: PartCommand = None,
+        label: PartCommand = None,
+        value: PartCommand = None,
+    ) -> TransferResult:
+        """Execute one sector command.
+
+        Positions the arm and head (charging seek + rotation), then processes
+        header, label, and value in passing order, charging one sector time.
+        A failed CHECK aborts the remaining parts -- in particular a write
+        scheduled *after* the check never happens, "so that a subsequent
+        write operation can be aborted before anything is written, without
+        taking an extra revolution" (section 3.3).
+        """
+        commands = {
+            "header": header if header is not None else PartCommand(),
+            "label": label if label is not None else PartCommand(),
+            "value": value if value is not None else PartCommand(),
+        }
+        self._validate_write_continuation(commands)
+        self.shape.check_address(address)
+
+        self.stats.commands += 1
+        self.timer.position_for(address)
+        self.timer.transfer_sector()
+        if self.trace is not None:
+            self.trace.record(self, address, commands)
+
+        if address in self.image.bad_media:
+            raise BadSectorError(f"unrecoverable media error at address {address}")
+        if self.fault_injector is not None:
+            self.fault_injector.before_parts(self, address, commands)
+
+        sector = self.image.sector(address)
+        result = TransferResult()
+        for part in PART_ORDER:
+            command = commands[part]
+            if command.action is Action.NONE:
+                continue
+            disk_words = self._get_part(sector, part)
+            if command.action is Action.READ:
+                setattr(result, part, list(disk_words))
+                self._count(part, reading=True)
+            elif command.action is Action.CHECK:
+                effective = self._check_part(address, part, command.data, disk_words)
+                setattr(result, part, effective)
+                self._count(part, reading=True)
+            elif command.action is Action.WRITE:
+                self._write_part(sector, address, part, command.data)
+                self._count(part, reading=False)
+        return result
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _validate_write_continuation(commands: dict) -> None:
+        """Enforce "once a write is begun, it must continue through the rest
+        of the sector"."""
+        writing = False
+        for part in PART_ORDER:
+            action = commands[part].action
+            if writing and action is not Action.WRITE:
+                raise ValueError(
+                    f"write begun before {part} must continue: {part} may not be {action.value}"
+                )
+            if action is Action.WRITE:
+                writing = True
+
+    def _get_part(self, sector: Sector, part: str) -> List[int]:
+        if part == "header":
+            return sector.header.pack()
+        if part == "label":
+            return sector.label.pack()
+        return sector.value
+
+    def _check_part(
+        self, address: int, part: str, expected: Sequence[int], disk_words: Sequence[int]
+    ) -> List[int]:
+        """Word-by-word pattern match; 0 in memory is a wildcard."""
+        if len(expected) != _PART_SIZES[part]:
+            raise ValueError(f"{part} check buffer must be {_PART_SIZES[part]} words")
+        effective = []
+        for i, (want, have) in enumerate(zip(expected, disk_words)):
+            if want == 0:
+                effective.append(have)
+                continue
+            if want != have:
+                if part == "label":
+                    self.stats.label_checks += 1
+                    self.stats.label_check_failures += 1
+                    raise LabelCheckError(i, want, have)
+                raise CheckError(part, i, want, have)
+            effective.append(have)
+        if part == "label":
+            self.stats.label_checks += 1
+        return effective
+
+    def _write_part(self, sector: Sector, address: int, part: str, data: Sequence[int]) -> None:
+        if len(data) != _PART_SIZES[part]:
+            raise ValueError(f"{part} write buffer must be {_PART_SIZES[part]} words")
+        data = list(data)
+        if self.fault_injector is not None:
+            data = self.fault_injector.filter_write(self, address, part, data)
+        if part == "header":
+            sector.header = Header.unpack(data)
+        elif part == "label":
+            sector.label = Label.unpack(data)
+        else:
+            sector.value = list(data)
+
+    def _count(self, part: str, reading: bool) -> None:
+        if part == "label" and not reading:
+            self.stats.label_writes += 1
+        elif part == "value":
+            if reading:
+                self.stats.value_reads += 1
+            else:
+                self.stats.value_writes += 1
+
+    # ------------------------------------------------------------------------
+    # Convenience commands (each is exactly one hardware command)
+    # ------------------------------------------------------------------------
+
+    def read_sector(self, address: int) -> TransferResult:
+        """Read header, label, and value in one pass."""
+        return self.transfer(
+            address,
+            header=PartCommand(Action.READ),
+            label=PartCommand(Action.READ),
+            value=PartCommand(Action.READ),
+        )
+
+    def read_label(self, address: int) -> Label:
+        """Read just the label (the scavenger's sweep primitive)."""
+        return self.transfer(address, label=PartCommand(Action.READ)).label_object()
+
+    def check_label_read_value(self, address: int, expected: Label) -> TransferResult:
+        """Ordinary page read: confirm identity, then take the data.
+
+        One pass; raises :class:`LabelCheckError` when the hint is stale.
+        """
+        return self.transfer(
+            address,
+            label=PartCommand(Action.CHECK, expected.pack()),
+            value=PartCommand(Action.READ),
+        )
+
+    def check_label_write_value(
+        self, address: int, expected: Label, value: Sequence[int]
+    ) -> TransferResult:
+        """Ordinary page write: "On any other write the label is checked, at
+        no cost in time" (section 3.3).  One pass; aborts before writing when
+        the check fails."""
+        return self.transfer(
+            address,
+            label=PartCommand(Action.CHECK, expected.pack()),
+            value=PartCommand(Action.WRITE, list(value)),
+        )
+
+    def check_label_then_rewrite(
+        self,
+        address: int,
+        expected: Label,
+        new_label: Label,
+        value: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Check the label, then rewrite the label (and optionally the value).
+
+        This is the allocate/free/change-length primitive.  The label has
+        already passed under the head when the check completes, so rewriting
+        it requires a second pass -- one full revolution later.  The timing
+        model charges that revolution automatically (section 3.3: "This
+        scheme costs a disk revolution each time a page is allocated or
+        freed").
+        """
+        self.transfer(address, label=PartCommand(Action.CHECK, expected.pack()))
+        parts = {"label": PartCommand(Action.WRITE, new_label.pack())}
+        if value is not None:
+            parts["value"] = PartCommand(Action.WRITE, list(value))
+        else:
+            # Once a write begins it must continue through the sector, so a
+            # label rewrite alone still rewrites the value with its current
+            # contents (the hardware streams it back out).
+            current = self.image.sector(address).value
+            parts["value"] = PartCommand(Action.WRITE, list(current))
+        self.transfer(address, **parts)
+
+    def write_header_label_value(
+        self, address: int, header: Header, label: Label, value: Sequence[int]
+    ) -> None:
+        """Full sector format (used only by pack formatting and the
+        compacting scavenger, which owns the whole disk)."""
+        self.transfer(
+            address,
+            header=PartCommand(Action.WRITE, header.pack()),
+            label=PartCommand(Action.WRITE, label.pack()),
+            value=PartCommand(Action.WRITE, list(value)),
+        )

@@ -1,0 +1,143 @@
+"""Fault injection for robustness experiments.
+
+The paper's central robustness claims (section 3.3, section 6) are about
+what happens when things go wrong: stale hints, lying allocation maps,
+crashes between related writes, decaying media.  ``FaultInjector`` produces
+those wrongs on demand, both *through* the drive (torn writes -- a power
+failure mid-sector) and *behind* the drive's back (label scrambling, media
+decay -- corruption that no software action caused).
+
+All randomized behaviour goes through an explicitly seeded ``random.Random``
+so every campaign is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import TornWriteError
+from ..words import WORD_MASK
+from .image import DiskImage
+from .sector import Label
+
+
+class FaultInjector:
+    """Corrupts a pack in controlled, reproducible ways.
+
+    Attach to a :class:`~repro.disk.drive.DiskDrive` via its
+    ``fault_injector`` argument to intercept writes; the direct-corruption
+    methods operate on the image and need no drive at all.
+    """
+
+    def __init__(self, image: DiskImage, seed: int = 1979) -> None:
+        self.image = image
+        self.rng = random.Random(seed)
+        self._writes_until_power_failure: Optional[int] = None
+        self.torn_writes = 0
+
+    # ------------------------------------------------------------------------
+    # Drive hooks
+    # ------------------------------------------------------------------------
+
+    def before_parts(self, drive, address: int, commands: dict) -> None:
+        """Called by the drive before processing a command's parts."""
+        # Currently a hook point only; media errors are raised by the drive
+        # itself from ``image.bad_media``.
+
+    def filter_write(self, drive, address: int, part: str, data: List[int]) -> List[int]:
+        """Called for every part write; may tear it.
+
+        A torn write models a power failure once the write has begun: the
+        hardware contract says the write "must continue through the rest of
+        the sector", so a failure leaves a prefix of new words followed by
+        garbage -- the worst case the scavenger must survive.
+        """
+        if self._writes_until_power_failure is None:
+            return data
+        self._writes_until_power_failure -= 1
+        if self._writes_until_power_failure > 0:
+            return data
+        self._writes_until_power_failure = None
+        self.torn_writes += 1
+        keep = self.rng.randrange(0, len(data))
+        torn = list(data[:keep]) + [self.rng.randrange(WORD_MASK + 1) for _ in range(len(data) - keep)]
+        # The torn words land on the platter, then the machine dies.
+        sector = self.image.sector(address)
+        if part == "header":
+            from .sector import Header
+
+            sector.header = Header.unpack(torn)
+        elif part == "label":
+            sector.label = Label.unpack(torn)
+        else:
+            sector.value = torn
+        raise TornWriteError(f"power failed during {part} write at address {address}")
+
+    # ------------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------------
+
+    def schedule_power_failure(self, after_writes: int) -> None:
+        """Tear the Nth subsequent part-write (1 = the very next one)."""
+        if after_writes < 1:
+            raise ValueError("after_writes must be >= 1")
+        self._writes_until_power_failure = after_writes
+
+    def cancel_power_failure(self) -> None:
+        self._writes_until_power_failure = None
+
+    # ------------------------------------------------------------------------
+    # Direct corruption (behind the drive's back)
+    # ------------------------------------------------------------------------
+
+    def decay_sector(self, address: int) -> None:
+        """Make a sector an unrecoverable media error (bad oxide)."""
+        self.image.shape.check_address(address)
+        self.image.bad_media.add(address)
+
+    def heal_sector(self, address: int) -> None:
+        """Undo :meth:`decay_sector` (e.g. after reformatting)."""
+        self.image.bad_media.discard(address)
+
+    def scramble_label(self, address: int) -> Label:
+        """Overwrite a sector's label with random words; returns the old label."""
+        sector = self.image.sector(address)
+        old = sector.label
+        sector.label = Label.unpack([self.rng.randrange(WORD_MASK + 1) for _ in range(7)])
+        return old
+
+    def scramble_links(self, address: int) -> None:
+        """Corrupt only the (hint) link words of a label, leaving the
+        absolute part intact -- the scavenger must repair these silently."""
+        sector = self.image.sector(address)
+        sector.label = sector.label.with_links(
+            next_link=self.rng.randrange(WORD_MASK + 1),
+            prev_link=self.rng.randrange(WORD_MASK + 1),
+        )
+
+    def scramble_value(self, address: int, nwords: int = 16) -> None:
+        """Corrupt part of a sector's data words (detected by higher-level
+        checksums where present; labels are unaffected)."""
+        sector = self.image.sector(address)
+        size = len(sector.value)
+        for _ in range(nwords):
+            sector.value[self.rng.randrange(size)] = self.rng.randrange(WORD_MASK + 1)
+
+    def swap_sectors(self, a: int, b: int) -> None:
+        """Exchange the label+value of two sectors, leaving headers in place.
+
+        Models a wildly confused copy utility; every hint to either page goes
+        stale at once, but the absolutes still identify the pages, so the
+        scavenger recovers both files.
+        """
+        sa, sb = self.image.sector(a), self.image.sector(b)
+        sa.label, sb.label = sb.label, sa.label
+        sa.value, sb.value = sb.value, sa.value
+
+    def random_in_use_addresses(self, count: int) -> List[int]:
+        """A reproducible sample of in-use sector addresses."""
+        in_use = [s.header.address for s in self.image.sectors() if s.label.in_use]
+        if count > len(in_use):
+            raise ValueError(f"only {len(in_use)} sectors in use, asked for {count}")
+        return self.rng.sample(in_use, count)

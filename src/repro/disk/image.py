@@ -1,0 +1,87 @@
+"""The platter state: every sector of one removable pack.
+
+``DiskImage`` is pure state -- no timing, no policy.  The drive (drive.py)
+imposes the command discipline and charges time; the image is "what is on
+the oxide".  Keeping it separate lets crash tests snapshot a pack, lets the
+fault injector corrupt it behind the drive's back, and lets two independent
+software stacks mount the same pack (the openness property of section 1:
+the on-disk representation is the interface).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import AddressOutOfRange
+from .geometry import DiskShape, diablo31
+from .sector import Label, Sector
+
+
+class DiskImage:
+    """All sectors of one pack, indexed by linear disk address."""
+
+    def __init__(self, shape: Optional[DiskShape] = None, pack_id: int = 1) -> None:
+        self.shape = shape if shape is not None else diablo31()
+        self.pack_id = pack_id
+        self._sectors: List[Sector] = [
+            Sector.fresh(pack_id, address) for address in self.shape.addresses()
+        ]
+        #: Addresses the fault injector has marked as unreadable media.
+        self.bad_media: set = set()
+
+    # -- access ---------------------------------------------------------------
+
+    def sector(self, address: int) -> Sector:
+        """The sector at *address* (validated against the shape)."""
+        self.shape.check_address(address)
+        return self._sectors[address]
+
+    def set_sector(self, address: int, sector: Sector) -> None:
+        self.shape.check_address(address)
+        self._sectors[address] = sector
+
+    def __len__(self) -> int:
+        return len(self._sectors)
+
+    def sectors(self) -> Iterator[Sector]:
+        """All sectors in physical order."""
+        return iter(self._sectors)
+
+    # -- whole-pack operations --------------------------------------------------
+
+    def snapshot(self) -> "DiskImage":
+        """A deep copy of the pack, for crash/restore experiments."""
+        clone = DiskImage.__new__(DiskImage)
+        clone.shape = self.shape
+        clone.pack_id = self.pack_id
+        clone._sectors = [s.copy() for s in self._sectors]
+        clone.bad_media = set(self.bad_media)
+        return clone
+
+    def restore(self, snapshot: "DiskImage") -> None:
+        """Overwrite this pack's state from *snapshot* (same shape required)."""
+        if snapshot.shape != self.shape:
+            raise ValueError("snapshot is from a different disk shape")
+        self.pack_id = snapshot.pack_id
+        self._sectors = [s.copy() for s in snapshot._sectors]
+        self.bad_media = set(snapshot.bad_media)
+
+    # -- statistics (used by tests and benchmarks) -------------------------------
+
+    def count_free(self) -> int:
+        return sum(1 for s in self._sectors if s.label.is_free)
+
+    def count_in_use(self) -> int:
+        return sum(1 for s in self._sectors if s.label.in_use)
+
+    def count_bad(self) -> int:
+        return sum(1 for s in self._sectors if s.label.is_bad)
+
+    def labels_by_serial(self) -> Dict[int, List[Label]]:
+        """In-use labels grouped by file serial (a scavenger-style sweep,
+        but without timing; for test assertions only)."""
+        out: Dict[int, List[Label]] = {}
+        for sector in self._sectors:
+            if sector.label.in_use:
+                out.setdefault(sector.label.serial, []).append(sector.label)
+        return out

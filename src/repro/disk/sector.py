@@ -1,0 +1,192 @@
+"""Sectors: header, label, value.
+
+Section 3.3: "The physical representation of a page on the disk is called a
+sector, and consists of three parts: a header, which contains the disk pack
+number ... and the disk address; a label, which contains the seven words
+specified in Section 3.1; a value, which contains the 256 data words."
+
+This module defines the word-exact layouts of those three parts.  The label
+is the load-bearing structure of the whole system: it is the *absolute*
+identity of the page, against which every hint is checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence
+
+from ..words import (
+    PAGE_DATA_WORDS,
+    WORD_MASK,
+    check_word,
+    from_double_word,
+    ones_words,
+    to_double_word,
+    zero_words,
+)
+from .geometry import NIL
+
+#: Words in each sector part.
+HEADER_WORDS = 2
+LABEL_WORDS = 7
+VALUE_WORDS = PAGE_DATA_WORDS
+
+#: Serial number of a free page: freeing writes "ones ... into label and
+#: value" (section 3.3), so the all-ones serial means free.
+SERIAL_FREE = 0xFFFFFFFF
+
+#: Serial number marking a permanently bad page: "During scavenging any
+#: permanently bad pages are marked in the label with a special value so
+#: that they will never be used again" (section 3.5).
+SERIAL_BAD = 0xFFFFFFFE
+
+#: High-word bit reserved to mark directory files: "we reserve a subset of
+#: the file identifiers for directory files" (section 3.4).
+DIRECTORY_SERIAL_FLAG = 0x8000_0000
+
+#: Highest serial a normal (allocatable) file may carry; keeps the special
+#: values above out of the ordinary namespace.
+MAX_ORDINARY_SERIAL = 0xFFFF_FFF0
+
+
+@dataclass(frozen=True)
+class Header:
+    """Sector header: pack number and disk address (both hints, H)."""
+
+    pack_id: int
+    address: int
+
+    def pack(self) -> List[int]:
+        return [check_word(self.pack_id, "pack id"), check_word(self.address, "address")]
+
+    @staticmethod
+    def unpack(words: Sequence[int]) -> "Header":
+        if len(words) != HEADER_WORDS:
+            raise ValueError(f"header needs {HEADER_WORDS} words, got {len(words)}")
+        return Header(pack_id=words[0], address=words[1])
+
+
+@dataclass(frozen=True)
+class Label:
+    """The seven-word label of section 3.1.
+
+    F (serial, two words) + V (version) + PN (page number) + L (byte length)
+    are absolutes (A); NL and PL (next/previous links) are hints (H).
+    """
+
+    serial: int = SERIAL_FREE
+    version: int = WORD_MASK
+    page_number: int = WORD_MASK
+    length: int = WORD_MASK
+    next_link: int = NIL
+    prev_link: int = NIL
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_free(self) -> bool:
+        return self.serial == SERIAL_FREE
+
+    @property
+    def is_bad(self) -> bool:
+        return self.serial == SERIAL_BAD
+
+    @property
+    def in_use(self) -> bool:
+        return not self.is_free and not self.is_bad
+
+    @property
+    def is_directory(self) -> bool:
+        """True when the serial is in the reserved directory subset."""
+        return self.in_use and bool(self.serial & DIRECTORY_SERIAL_FLAG)
+
+    @property
+    def is_last(self) -> bool:
+        """True when this label names the last page of its file."""
+        return self.in_use and self.next_link == NIL
+
+    # -- packing --------------------------------------------------------------
+
+    def pack(self) -> List[int]:
+        """Serialize to the seven on-disk words."""
+        high, low = to_double_word(self.serial)
+        return [
+            high,
+            low,
+            check_word(self.version, "version"),
+            check_word(self.page_number, "page number"),
+            check_word(self.length, "length"),
+            check_word(self.next_link, "next link"),
+            check_word(self.prev_link, "prev link"),
+        ]
+
+    @staticmethod
+    def unpack(words: Sequence[int]) -> "Label":
+        if len(words) != LABEL_WORDS:
+            raise ValueError(f"label needs {LABEL_WORDS} words, got {len(words)}")
+        return Label(
+            serial=from_double_word(words[0], words[1]),
+            version=words[2],
+            page_number=words[3],
+            length=words[4],
+            next_link=words[5],
+            prev_link=words[6],
+        )
+
+    @staticmethod
+    def free() -> "Label":
+        """The all-ones label written when a page is freed."""
+        return Label.unpack(ones_words(LABEL_WORDS))
+
+    @staticmethod
+    def bad() -> "Label":
+        """The label marking a permanently bad sector."""
+        return Label(serial=SERIAL_BAD, version=WORD_MASK, page_number=WORD_MASK, length=0)
+
+    def with_links(self, next_link: int = None, prev_link: int = None) -> "Label":
+        """A copy with one or both links replaced."""
+        out = self
+        if next_link is not None:
+            out = replace(out, next_link=next_link)
+        if prev_link is not None:
+            out = replace(out, prev_link=prev_link)
+        return out
+
+    def absolute_key(self):
+        """The absolute name (serial, version, page number) for sorting.
+
+        Section 3.5: the scavenger creates "a list of all the labels not
+        marked free and sort[s] it by absolute name."
+        """
+        return (self.serial, self.version, self.page_number)
+
+
+@dataclass
+class Sector:
+    """The full on-disk state of one sector."""
+
+    header: Header
+    label: Label = field(default_factory=Label.free)
+    value: List[int] = field(default_factory=lambda: ones_words(VALUE_WORDS))
+
+    def __post_init__(self) -> None:
+        if len(self.value) != VALUE_WORDS:
+            raise ValueError(f"sector value needs {VALUE_WORDS} words, got {len(self.value)}")
+
+    def copy(self) -> "Sector":
+        return Sector(header=self.header, label=self.label, value=list(self.value))
+
+    @staticmethod
+    def fresh(pack_id: int, address: int) -> "Sector":
+        """A factory-fresh (never-written) sector: free label, ones value."""
+        return Sector(header=Header(pack_id=pack_id, address=address))
+
+
+def value_words(data: Sequence[int]) -> List[int]:
+    """Pad or validate *data* to exactly one sector value (256 words)."""
+    data = list(data)
+    if len(data) > VALUE_WORDS:
+        raise ValueError(f"value too long: {len(data)} > {VALUE_WORDS}")
+    for w in data:
+        check_word(w, "value word")
+    return data + zero_words(VALUE_WORDS - len(data))

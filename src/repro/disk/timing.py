@@ -1,0 +1,81 @@
+"""Seek and rotational latency model.
+
+The drive charges three kinds of simulated time against the shared clock:
+
+* ``disk.seek``     -- arm movement between cylinders,
+* ``disk.rotation`` -- waiting for the target sector to come under the head,
+* ``disk.transfer`` -- one sector time per sector actually transferred.
+
+Rotational position is derived from the clock itself (the platter spins
+whether or not anyone is looking), so two back-to-back operations on the
+same sector naturally cost one full revolution of waiting -- which is
+exactly the paper's "this scheme costs a disk revolution each time a page
+is allocated or freed" (section 3.3): allocate and free must check the old
+label and then *rewrite the label*, and the label has already passed under
+the head by the time the check completes.
+"""
+
+from __future__ import annotations
+
+from ..clock import MICROSECONDS_PER_MILLISECOND, SimClock
+from .geometry import DiskShape
+
+SEEK = "disk.seek"
+ROTATION = "disk.rotation"
+TRANSFER = "disk.transfer"
+
+
+class ArmTimer:
+    """Tracks arm position and charges seek/rotation/transfer time."""
+
+    def __init__(self, shape: DiskShape, clock: SimClock) -> None:
+        self.shape = shape
+        self.clock = clock
+        self.cylinder = 0
+        self.seeks = 0
+        self.sectors_transferred = 0
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _rotation_us(self) -> int:
+        return round(self.shape.rotation_ms * MICROSECONDS_PER_MILLISECOND)
+
+    def _sector_us(self) -> int:
+        return round(self.shape.sector_time_ms() * MICROSECONDS_PER_MILLISECOND)
+
+    def rotational_position_us(self) -> int:
+        """Microseconds into the current platter revolution."""
+        return self.clock.now_us % self._rotation_us()
+
+    # -- charging ---------------------------------------------------------------
+
+    def seek_to(self, cylinder: int) -> None:
+        """Move the arm, charging seek time (zero if already there)."""
+        if cylinder != self.cylinder:
+            self.clock.advance_ms(self.shape.seek_time_ms(self.cylinder, cylinder), SEEK)
+            self.cylinder = cylinder
+            self.seeks += 1
+
+    def wait_for_sector(self, sector: int) -> None:
+        """Spin until *sector*'s leading edge is under the head."""
+        target_us = sector * self._sector_us()
+        position_us = self.rotational_position_us()
+        wait_us = (target_us - position_us) % self._rotation_us()
+        self.clock.advance_us(wait_us, ROTATION)
+
+    def transfer_sector(self) -> None:
+        """Charge one sector time of transfer."""
+        self.clock.advance_us(self._sector_us(), TRANSFER)
+        self.sectors_transferred += 1
+
+    def position_for(self, address: int) -> None:
+        """Seek + rotational wait for the sector at *address*."""
+        cylinder, _head, sector = self.shape.decompose(address)
+        self.seek_to(cylinder)
+        self.wait_for_sector(sector)
+
+    # -- accounting helpers -------------------------------------------------------
+
+    def revolutions_waited(self) -> float:
+        """Total rotational waiting expressed in revolutions."""
+        return self.clock.tally_us(ROTATION) / self._rotation_us()

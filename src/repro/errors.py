@@ -1,0 +1,193 @@
+"""Exception hierarchy for the reproduction.
+
+The paper's robustness story rests on a small number of failure signals: a
+label check that fails, a hint that turns out to be stale, a page that is
+permanently bad.  Each gets a distinct exception type so that callers can
+implement the recovery ladder of section 3.6 ("the program has several
+options...") by catching precisely the failure they can handle.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Disk-level errors
+# ---------------------------------------------------------------------------
+
+
+class DiskError(ReproError):
+    """Base class for errors raised by the simulated drive."""
+
+
+class AddressOutOfRange(DiskError):
+    """A disk address does not exist on this disk shape."""
+
+
+class CheckError(DiskError):
+    """A check action found a mismatch and aborted the sector operation.
+
+    Carries the part ('header', 'label', 'value') and word index at which the
+    comparison failed, mirroring the hardware's abort-on-mismatch behaviour.
+    """
+
+    def __init__(self, part: str, index: int, expected: int, actual: int):
+        super().__init__(
+            f"check failed in {part} word {index}: expected {expected:#06x}, disk has {actual:#06x}"
+        )
+        self.part = part
+        self.index = index
+        self.expected = expected
+        self.actual = actual
+
+
+class LabelCheckError(CheckError):
+    """A label check failed: the sector does not hold the expected page.
+
+    This is the signal at the heart of the paper's robustness design
+    (section 3.3): it fires when a hint address is stale, when an allocation
+    map entry lies, or when a program tries to overwrite a page it does not
+    own.
+    """
+
+    def __init__(self, index: int, expected: int, actual: int):
+        CheckError.__init__(self, "label", index, expected, actual)
+
+
+class BadSectorError(DiskError):
+    """The sector is permanently bad (marked by the scavenger, section 3.5)."""
+
+
+class TornWriteError(DiskError):
+    """A simulated power failure interrupted a write mid-sector."""
+
+
+# ---------------------------------------------------------------------------
+# File-system errors
+# ---------------------------------------------------------------------------
+
+
+class FileSystemError(ReproError):
+    """Base class for file-system-level errors."""
+
+
+class HintFailed(FileSystemError):
+    """A hint (disk address, cached full name, ...) proved stale.
+
+    Section 3.6: the system "insures that when a hint fails, no damage is
+    done, and the program using the hint is informed so that it can take
+    corrective action."  This exception is that information.
+    """
+
+
+class DiskFull(FileSystemError):
+    """No free page could be allocated anywhere on the disk."""
+
+
+class PageNotFree(FileSystemError):
+    """A page the allocation map called free turned out to be in use.
+
+    Section 3.3: "If the map says that a page is free, the allocator marks
+    it busy when allocating it, and when the label check described above
+    fails, the allocator is called again to obtain another page."  This
+    exception is that label-check failure, surfaced to the allocator.
+    """
+
+
+class FileNotFound(FileSystemError):
+    """No file with the given name/serial exists (even after recovery steps)."""
+
+
+class DirectoryError(FileSystemError):
+    """A directory file is malformed or an entry operation failed."""
+
+
+class NotADirectory(DirectoryError):
+    """The file id given is not in the reserved directory subset."""
+
+
+class FileFormatError(FileSystemError):
+    """An on-disk structure (leader page, descriptor, ...) failed to parse."""
+
+
+# ---------------------------------------------------------------------------
+# Memory / zone errors
+# ---------------------------------------------------------------------------
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors (trailing underscore avoids
+    shadowing the builtin)."""
+
+
+class MemoryFault(MemoryError_):
+    """Word address outside the 64k space or outside a region's bounds."""
+
+
+class ZoneExhausted(MemoryError_):
+    """The zone has no free block large enough for the request."""
+
+
+class ZoneCorrupt(MemoryError_):
+    """Zone free-list invariants were violated (overlap, bad coalesce...)."""
+
+
+# ---------------------------------------------------------------------------
+# Stream errors
+# ---------------------------------------------------------------------------
+
+
+class StreamError(ReproError):
+    """Base class for stream errors."""
+
+
+class EndOfStream(StreamError):
+    """Get was called past the last item of the stream."""
+
+
+class OperationNotSupported(StreamError):
+    """The stream's implementation does not provide this operation.
+
+    A program using a non-standard operation "sacrifices compatibility"
+    (section 2); this is what that sacrifice looks like at run time.
+    """
+
+
+# ---------------------------------------------------------------------------
+# World-swap / OS errors
+# ---------------------------------------------------------------------------
+
+
+class WorldError(ReproError):
+    """Base class for InLoad/OutLoad errors."""
+
+
+class BadStateFile(WorldError):
+    """A state file failed validation (bad magic, checksum, or truncation)."""
+
+
+class MessageTooLong(WorldError):
+    """An InLoad message exceeds the 20-word message vector (section 4.1)."""
+
+
+class OSError_(ReproError):
+    """Base class for operating-system-layer errors."""
+
+
+class LoadError(OSError_):
+    """The program loader could not load a code file."""
+
+
+class FixupError(LoadError):
+    """A fixup-table entry referenced an unknown system procedure."""
+
+
+class JuntaError(OSError_):
+    """Junta/CounterJunta misuse (bad level, nested junta, ...)."""
+
+
+class CommandError(OSError_):
+    """The Executive could not parse or execute a command."""

@@ -1,0 +1,259 @@
+"""The file-system facade: formatting, mounting, naming, serial discipline.
+
+Ties together pages, files, the allocator, directories, and the disk
+descriptor into the object most programs use.  Everything here is built
+from the smaller components, all of which remain public -- the openness
+principle of section 1: "when this happens, we try as far as possible to
+make the small components accessible to the user as well as the large
+ones."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..disk.drive import DiskDrive
+from ..disk.geometry import NIL
+from ..errors import DirectoryError, FileFormatError, FileNotFound, HintFailed
+from .allocator import PageAllocator
+from .descriptor import (
+    BOOT_PAGE_ADDRESS,
+    DESCRIPTOR_LEADER_ADDRESS,
+    DESCRIPTOR_NAME,
+    DiskDescriptor,
+)
+from .directory import DirEntry, Directory
+from .file import AltoFile
+from .names import FileId, FullName, make_serial, next_usable_counter
+from .page import PageIO
+
+#: Default name of the root directory.
+ROOT_DIRECTORY_NAME = "SysDir"
+
+#: Serial counters are leased to the in-memory file system in blocks of this
+#: size; the descriptor stores the lease bound, so a crash can skip at most
+#: one block of serials but can never reuse one.
+SERIAL_LEASE = 64
+
+
+class FileSystem:
+    """One mounted (or freshly formatted) Alto file system."""
+
+    def __init__(
+        self,
+        drive: DiskDrive,
+        allocator: PageAllocator,
+        descriptor_file: AltoFile,
+        root: Directory,
+        serial_counter: int,
+        serial_lease: int,
+    ) -> None:
+        self.drive = drive
+        self.page_io = PageIO(drive)
+        self.allocator = allocator
+        self.descriptor_file = descriptor_file
+        self.root = root
+        self._counter = serial_counter
+        self._lease = serial_lease
+
+    # ------------------------------------------------------------------------
+    # Formatting and mounting
+    # ------------------------------------------------------------------------
+
+    @classmethod
+    def format(cls, drive: DiskDrive, root_name: str = ROOT_DIRECTORY_NAME) -> "FileSystem":
+        """Initialize an empty file system on a fresh pack.
+
+        Reserves address 0 for the boot file's first page, pins the
+        descriptor leader at address 1, creates the root directory, and
+        writes the descriptor (twice, so the stored map reflects the
+        descriptor's own pages).
+        """
+        page_io = PageIO(drive)
+        allocator = PageAllocator(drive.shape)
+        allocator.reserve([BOOT_PAGE_ADDRESS])
+
+        now = round(drive.clock.now_s)
+        counter = 1
+        descriptor_fid = FileId(make_serial(counter))
+        counter = next_usable_counter(counter)
+        descriptor_file = AltoFile.create(
+            page_io, allocator, descriptor_fid, DESCRIPTOR_NAME, now=now,
+            near=DESCRIPTOR_LEADER_ADDRESS,
+        )
+        if descriptor_file.leader_address() != DESCRIPTOR_LEADER_ADDRESS:
+            raise FileFormatError(
+                f"descriptor leader landed at {descriptor_file.leader_address()}, "
+                f"expected {DESCRIPTOR_LEADER_ADDRESS} (pack not fresh?)"
+            )
+
+        root_fid = FileId(make_serial(counter, directory=True))
+        counter = next_usable_counter(counter)
+        root_file = AltoFile.create(page_io, allocator, root_fid, root_name, now=now)
+        root = Directory(root_file)
+        root.add(root_name, root_file.full_name())
+        root.add(DESCRIPTOR_NAME, descriptor_file.full_name())
+
+        fs = cls(
+            drive,
+            allocator,
+            descriptor_file,
+            root,
+            serial_counter=counter,
+            serial_lease=counter + SERIAL_LEASE,
+        )
+        fs.sync()  # first write sizes the descriptor file...
+        fs.sync()  # ...second write stores the now-stable map
+        return fs
+
+    @classmethod
+    def mount(cls, drive: DiskDrive) -> "FileSystem":
+        """Mount an existing file system from its standard addresses.
+
+        Raises :class:`FileFormatError` or :class:`HintFailed` when the
+        descriptor or root cannot be reached -- the caller's recovery is the
+        Scavenger (section 3.5), after which mounting succeeds.
+        """
+        page_io = PageIO(drive)
+        label = drive.read_label(DESCRIPTOR_LEADER_ADDRESS)
+        from .names import page_number_from_label
+
+        if not label.in_use or page_number_from_label(label) != 0:
+            raise FileFormatError(
+                f"address {DESCRIPTOR_LEADER_ADDRESS} does not hold a leader page; scavenge"
+            )
+        fid = FileId.from_label(label)
+
+        # Bootstrap with an all-busy allocator: mounting only reads.
+        bootstrap = PageAllocator(drive.shape, [False] * drive.shape.total_sectors())
+        descriptor_file = AltoFile.open(page_io, bootstrap, FullName(fid, 0, DESCRIPTOR_LEADER_ADDRESS))
+        if descriptor_file.name != DESCRIPTOR_NAME:
+            raise FileFormatError(
+                f"file at standard address is {descriptor_file.name!r}, not {DESCRIPTOR_NAME!r}"
+            )
+        from ..words import bytes_to_words
+
+        descriptor = DiskDescriptor.unpack(drive.shape, bytes_to_words(descriptor_file.read_data()))
+
+        allocator = descriptor.allocator()
+        allocator.reserve([BOOT_PAGE_ADDRESS, DESCRIPTOR_LEADER_ADDRESS])
+        descriptor_file.allocator = allocator
+
+        root_file = AltoFile.open(page_io, allocator, descriptor.root_directory)
+        lease = descriptor.serial_counter
+        return cls(
+            drive,
+            allocator,
+            descriptor_file,
+            Directory(root_file),
+            serial_counter=lease,
+            serial_lease=lease,
+        )
+
+    # ------------------------------------------------------------------------
+    # Time and identity
+    # ------------------------------------------------------------------------
+
+    def now(self) -> int:
+        """Simulated-clock seconds, used for leader dates."""
+        return round(self.drive.clock.now_s)
+
+    def new_fid(self, directory: bool = False) -> FileId:
+        """Hand out a fresh file identity, honouring the serial lease."""
+        counter = self._counter
+        self._counter = next_usable_counter(counter)
+        if self._counter >= self._lease:
+            self._lease = self._counter + SERIAL_LEASE
+            self.sync()
+        return FileId(make_serial(counter, directory=directory))
+
+    # ------------------------------------------------------------------------
+    # The descriptor (map + lease + root hint)
+    # ------------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Write the descriptor: allocation map, serial lease, root hint.
+
+        The map is a hint (section 3.3); syncing just makes it fresher.
+        """
+        from ..words import words_to_bytes
+
+        descriptor = DiskDescriptor(
+            shape=self.drive.shape,
+            serial_counter=self._lease,
+            root_directory=self.root.full_name(),
+            free_map_words=self.allocator.pack(),
+        )
+        self.descriptor_file.write_data(words_to_bytes(descriptor.pack()))
+
+    # ------------------------------------------------------------------------
+    # File operations by name
+    # ------------------------------------------------------------------------
+
+    def create_file(
+        self,
+        name: str,
+        directory: Optional[Directory] = None,
+        is_directory: bool = False,
+        near: Optional[int] = None,
+    ) -> AltoFile:
+        """Create a file and enter it in *directory* (default: root)."""
+        target = directory if directory is not None else self.root
+        if target.lookup(name) is not None:
+            raise DirectoryError(f"{name!r} already exists in {target.name!r}")
+        fid = self.new_fid(directory=is_directory)
+        file = AltoFile.create(self.page_io, self.allocator, fid, name, now=self.now(), near=near)
+        target.add(name, file.full_name())
+        return file
+
+    def create_directory(self, name: str, parent: Optional[Directory] = None) -> Directory:
+        """Create a new directory file (an ordinary file with the reserved
+        directory serial bit) and enter it in *parent* (default: root)."""
+        return Directory(self.create_file(name, directory=parent, is_directory=True))
+
+    def open_entry(self, entry: DirEntry) -> AltoFile:
+        """Open a file from a directory entry, using its address hint."""
+        return AltoFile.open(self.page_io, self.allocator, entry.full_name)
+
+    def open_file(self, name: str, directory: Optional[Directory] = None) -> AltoFile:
+        """Open by string name.  A stale entry hint raises
+        :class:`HintFailed`; the full recovery ladder lives in
+        :mod:`repro.fs.hints`."""
+        target = directory if directory is not None else self.root
+        return self.open_entry(target.require(name))
+
+    def open_directory(self, name: str, parent: Optional[Directory] = None) -> Directory:
+        return Directory(self.open_file(name, directory=parent))
+
+    def delete_file(self, name: str, directory: Optional[Directory] = None) -> None:
+        """Delete the file and remove its entry from *directory*."""
+        target = directory if directory is not None else self.root
+        entry = target.require(name)
+        file = self.open_entry(entry)
+        file.delete()
+        target.remove(name)
+
+    def rename_file(self, old: str, new: str, directory: Optional[Directory] = None) -> None:
+        """Rename both the directory entry and the leader name."""
+        target = directory if directory is not None else self.root
+        if target.lookup(new) is not None:
+            raise DirectoryError(f"{new!r} already exists in {target.name!r}")
+        entry = target.require(old)
+        file = self.open_entry(entry)
+        file.rename(new)
+        target.remove(old)
+        target.add(new, file.full_name())
+
+    def list_files(self, directory: Optional[Directory] = None) -> List[str]:
+        target = directory if directory is not None else self.root
+        return target.names()
+
+    # ------------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------------
+
+    def free_pages(self) -> int:
+        return self.allocator.count_free()
+
+    def __repr__(self) -> str:
+        return f"FileSystem({self.drive.shape.name}, free={self.free_pages()})"

@@ -1,0 +1,133 @@
+"""The leader page (section 3.2).
+
+"Page 0 is called the leader page, and contains all the properties of the
+file other than its length and its data: dates of creation, last write, and
+last read (A); a string called the leader name ... (A); the page number and
+disk address of the last page (H); a maybe consecutive flag (H)."
+
+The leader name is the file's survival kit: if every directory entry for
+the file is destroyed, the scavenger re-enters the file in the main
+directory under this name (section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence
+
+from ..disk.geometry import NIL
+from ..disk.sector import VALUE_WORDS
+from ..errors import FileFormatError
+from ..words import (
+    check_word,
+    from_double_word,
+    string_to_words,
+    to_double_word,
+    words_to_string,
+    zero_words,
+)
+
+#: Words reserved for the leader name (BCPL coding: length byte + chars).
+NAME_WORDS = 20
+MAX_NAME_LENGTH = NAME_WORDS * 2 - 1
+
+#: Leader value layout (word offsets).
+_CREATED = 0
+_WRITTEN = 2
+_READ = 4
+_NAME = 6
+_LAST_PAGE_NUMBER = _NAME + NAME_WORDS  # 26
+_LAST_PAGE_ADDRESS = _LAST_PAGE_NUMBER + 1  # 27
+_CONSECUTIVE = _LAST_PAGE_ADDRESS + 1  # 28
+LEADER_USED_WORDS = _CONSECUTIVE + 1
+
+
+def check_name(name: str) -> str:
+    """Validate a leader/directory name; returns it unchanged."""
+    if not name:
+        raise FileFormatError("file name must not be empty")
+    if len(name) > MAX_NAME_LENGTH:
+        raise FileFormatError(f"file name too long ({len(name)} > {MAX_NAME_LENGTH}): {name!r}")
+    try:
+        name.encode("ascii")
+    except UnicodeEncodeError:
+        raise FileFormatError(f"file name must be ASCII: {name!r}") from None
+    return name
+
+
+@dataclass(frozen=True)
+class LeaderPage:
+    """Decoded contents of a leader page.
+
+    Dates are simulated-clock seconds.  ``last_page_number`` and
+    ``last_page_address`` are hints (H): stale values cause an extra link
+    walk, never wrong answers.  ``maybe_consecutive`` is the hint that the
+    file's pages sit in consecutive sectors (section 3.6).
+    """
+
+    name: str
+    created: int = 0
+    written: int = 0
+    read: int = 0
+    last_page_number: int = 0
+    last_page_address: int = NIL
+    maybe_consecutive: bool = False
+
+    def __post_init__(self) -> None:
+        check_name(self.name)
+
+    # -- serialization ------------------------------------------------------------
+
+    def pack(self) -> List[int]:
+        """Serialize to exactly one page value (256 words)."""
+        words = zero_words(VALUE_WORDS)
+        words[_CREATED : _CREATED + 2] = to_double_word(self.created)
+        words[_WRITTEN : _WRITTEN + 2] = to_double_word(self.written)
+        words[_READ : _READ + 2] = to_double_word(self.read)
+        name_words = string_to_words(self.name, max_bytes=MAX_NAME_LENGTH)
+        words[_NAME : _NAME + len(name_words)] = name_words
+        words[_LAST_PAGE_NUMBER] = check_word(self.last_page_number, "last page number")
+        words[_LAST_PAGE_ADDRESS] = check_word(self.last_page_address, "last page address")
+        words[_CONSECUTIVE] = 1 if self.maybe_consecutive else 0
+        return words
+
+    @staticmethod
+    def unpack(words: Sequence[int]) -> "LeaderPage":
+        if len(words) != VALUE_WORDS:
+            raise FileFormatError(f"leader page needs {VALUE_WORDS} words, got {len(words)}")
+        try:
+            name = words_to_string(words[_NAME : _NAME + NAME_WORDS])
+        except ValueError as exc:
+            raise FileFormatError(f"corrupt leader name: {exc}") from exc
+        if not name:
+            raise FileFormatError("leader page has an empty name")
+        return LeaderPage(
+            name=name,
+            created=from_double_word(words[_CREATED], words[_CREATED + 1]),
+            written=from_double_word(words[_WRITTEN], words[_WRITTEN + 1]),
+            read=from_double_word(words[_READ], words[_READ + 1]),
+            last_page_number=words[_LAST_PAGE_NUMBER],
+            last_page_address=words[_LAST_PAGE_ADDRESS],
+            maybe_consecutive=bool(words[_CONSECUTIVE]),
+        )
+
+    # -- functional updates ---------------------------------------------------------
+
+    def touched(self, *, written: int = None, read: int = None) -> "LeaderPage":
+        """A copy with access dates advanced."""
+        out = self
+        if written is not None:
+            out = replace(out, written=written)
+        if read is not None:
+            out = replace(out, read=read)
+        return out
+
+    def with_last_page(self, page_number: int, address: int) -> "LeaderPage":
+        """A copy with the last-page hint updated."""
+        return replace(self, last_page_number=page_number, last_page_address=address)
+
+    def with_consecutive(self, flag: bool) -> "LeaderPage":
+        return replace(self, maybe_consecutive=flag)
+
+    def renamed(self, name: str) -> "LeaderPage":
+        return replace(self, name=check_name(name))

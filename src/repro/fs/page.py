@@ -1,0 +1,201 @@
+"""Page-level operations by full name (section 3.1).
+
+"The basic operations on a page are to read and write the data, and to read
+the links, given the full name.  Note that it is easy to go from the full
+name of a page to the full names of the next and previous pages."
+
+Every operation here validates the page's absolute identity with a hardware
+label check before touching data, and converts a failed check into
+:class:`~repro.errors.HintFailed` -- the signal that drives the recovery
+ladder of section 3.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..disk.drive import DiskDrive
+from ..disk.geometry import NIL
+from ..disk.sector import Label, value_words
+from ..errors import AddressOutOfRange, HintFailed, LabelCheckError, PageNotFree
+from .names import FileId, FullName, page_number_from_label
+
+
+@dataclass(frozen=True)
+class PageContents:
+    """What one page operation yields: the true label and (optionally) data."""
+
+    name: FullName
+    label: Label
+    value: Optional[List[int]] = None
+
+    @property
+    def next_name(self) -> Optional[FullName]:
+        """Full name of the next page, from the NL hint (None at end)."""
+        if self.label.next_link == NIL:
+            return None
+        return self.name.sibling(self.name.page_number + 1, self.label.next_link)
+
+    @property
+    def prev_name(self) -> Optional[FullName]:
+        """Full name of the previous page, from the PL hint (None at start)."""
+        if self.label.prev_link == NIL:
+            return None
+        if self.name.page_number == 0:
+            return None
+        return self.name.sibling(self.name.page_number - 1, self.label.prev_link)
+
+    @property
+    def is_last(self) -> bool:
+        return self.label.next_link == NIL
+
+    @property
+    def byte_length(self) -> int:
+        return self.label.length
+
+
+class PageIO:
+    """Page operations on one drive, all guarded by label checks."""
+
+    def __init__(self, drive: DiskDrive) -> None:
+        self.drive = drive
+
+    # -- guarded data operations (one disk pass each) ----------------------------
+
+    def read(self, name: FullName) -> PageContents:
+        """Read a page's data, confirming its absolute identity first."""
+        self._require_hint(name)
+        try:
+            result = self.drive.check_label_read_value(name.address, name.check_label())
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
+        return PageContents(name=name, label=result.label_object(), value=result.value)
+
+    def read_label(self, name: FullName) -> Label:
+        """Read (and verify) just the label -- the cheap way to get links."""
+        self._require_hint(name)
+        try:
+            result = self.drive.transfer(
+                name.address,
+                label=_check_command(name),
+            )
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
+        return result.label_object()
+
+    def write(self, name: FullName, data: Sequence[int]) -> None:
+        """Overwrite a page's data words; the label (including L) is untouched.
+
+        "On any other write the label is checked, at no cost in time"
+        (section 3.3) -- this is that ordinary, single-pass write.
+        """
+        self._require_hint(name)
+        try:
+            self.drive.check_label_write_value(name.address, name.check_label(), value_words(data))
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
+
+    # -- label-rewriting operations (two disk passes: one revolution) -------------
+
+    def claim(self, address: int, new_label: Label, data: Sequence[int]) -> None:
+        """First write after allocation: "the check is that the page is free.
+        Then the proper label for the page is written" (section 3.3).
+
+        Raises :class:`PageNotFree` when the allocation map lied.
+        """
+        try:
+            self.drive.check_label_then_rewrite(address, Label.free(), new_label, value_words(data))
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise PageNotFree(f"address {address} is not free") from exc
+
+    def release(self, name: FullName) -> None:
+        """Free a page: "its full name must be given, and the check is that
+        the label is the right one.  Then ones are written into label and
+        value" (section 3.3)."""
+        self._require_hint(name)
+        from ..disk.sector import VALUE_WORDS
+        from ..words import ones_words
+
+        try:
+            self.drive.check_label_then_rewrite(
+                name.address, name.check_label(), Label.free(), ones_words(VALUE_WORDS)
+            )
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
+
+    def rewrite_label(self, name: FullName, new_label: Label) -> None:
+        """Change a page's label in place (the change-length operation of
+        section 3.3): check the old label, then rewrite, keeping the data."""
+        self._require_hint(name)
+        try:
+            self.drive.check_label_then_rewrite(name.address, name.check_label(), new_label)
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
+
+    def update_label(self, name: FullName, transform) -> Label:
+        """Read-check the label and rewrite a transformed version of it.
+
+        Exactly section 3.3's change-length sequence: "the label of the
+        last page is read and checked.  Then it is rewritten, possibly with
+        new values of L and NL."  The check pass yields the current label
+        (via the wildcard mechanism), *transform* maps it to the new label,
+        and the second pass writes it -- two passes total, one revolution.
+        Returns the new label.
+        """
+        self._require_hint(name)
+        try:
+            result = self.drive.transfer(
+                name.address, label=_check_command(name)
+            )
+            current = result.label_object()
+            new_label = transform(current)
+            from ..disk.drive import Action, PartCommand
+
+            self.drive.transfer(
+                name.address,
+                label=PartCommand(Action.WRITE, new_label.pack()),
+                value=PartCommand(Action.WRITE, list(self.drive.image.sector(name.address).value)),
+            )
+            return new_label
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
+
+    # -- link traversal -----------------------------------------------------------
+
+    def follow(self, start: FullName, target_page: int) -> FullName:
+        """Walk NL/PL links from *start* until page *target_page*.
+
+        Returns a full name with a fresh, verified address hint.  Section
+        3.6, option two: "it can follow links from that page, still avoiding
+        the directory lookup."
+        """
+        current = start
+        label = self.read_label(current)
+        while current.page_number != target_page:
+            if current.page_number < target_page:
+                nxt = PageContents(current, label).next_name
+                if nxt is None:
+                    raise HintFailed(
+                        f"file {current.fid.serial:#x} ends at page {current.page_number}, "
+                        f"wanted {target_page}"
+                    )
+                current = nxt
+            else:
+                prev = PageContents(current, label).prev_name
+                if prev is None:
+                    raise HintFailed(f"cannot walk back past page {current.page_number}")
+                current = prev
+            label = self.read_label(current)
+        return current
+
+    @staticmethod
+    def _require_hint(name: FullName) -> None:
+        if not name.has_address_hint:
+            raise HintFailed(f"page {name} has no address hint; resolve it first")
+
+
+def _check_command(name: FullName):
+    from ..disk.drive import Action, PartCommand
+
+    return PartCommand(Action.CHECK, name.check_label().pack())

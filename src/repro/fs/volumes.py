@@ -1,0 +1,119 @@
+"""Multiple drives and cross-pack utilities.
+
+Section 2: the machine has "one or two moving-head disk drives, each of
+which can store 2.5 megabytes on a single removable pack", and section 5.2
+notes that "a program using a large non-standard disk" just supplies its
+own disk object and reuses the standard stream package.  These helpers are
+the operator-level utilities that fall out: mounting a second pack,
+copying files between packs, and duplicating whole packs.
+
+Nothing here is privileged; it is all written against public interfaces
+(the openness property at work).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..clock import SimClock
+from ..disk.drive import DiskDrive
+from ..disk.geometry import DiskShape
+from ..disk.image import DiskImage
+from ..errors import FileNotFound
+from ..streams.disk_stream import open_read_stream, open_write_stream
+from .directory import Directory
+from .filesystem import FileSystem
+
+
+class DrivePair:
+    """Two spindles sharing one controller (and therefore one clock).
+
+    The shared clock matters: transfers on either drive advance the same
+    simulated time, exactly like two drives on one Alto.
+    """
+
+    def __init__(
+        self,
+        image0: DiskImage,
+        image1: DiskImage,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.drive0 = DiskDrive(image0, clock=self.clock)
+        self.drive1 = DiskDrive(image1, clock=self.clock)
+
+    def mount_both(self) -> tuple:
+        return FileSystem.mount(self.drive0), FileSystem.mount(self.drive1)
+
+    def format_both(self) -> tuple:
+        return FileSystem.format(self.drive0), FileSystem.format(self.drive1)
+
+
+def copy_file(
+    source_fs: FileSystem,
+    destination_fs: FileSystem,
+    name: str,
+    new_name: Optional[str] = None,
+    replace: bool = False,
+) -> int:
+    """Copy one file between packs through the stream interface.
+
+    Returns the bytes copied.  Dates are refreshed on the destination; the
+    destination gets its own serial number (identity is per-pack).
+    """
+    new_name = new_name if new_name is not None else name
+    source = open_read_stream(source_fs.open_file(name), update_dates=False)
+    try:
+        destination_file = destination_fs.open_file(new_name)
+        if not replace:
+            from ..errors import DirectoryError
+
+            raise DirectoryError(f"{new_name!r} already exists on the destination pack")
+    except FileNotFound:
+        destination_file = destination_fs.create_file(new_name)
+    sink = open_write_stream(destination_file)
+    copied = 0
+    while not source.endof():
+        sink.put(source.get())
+        copied += 1
+    sink.close()
+    source.close()
+    return copied
+
+
+def copy_all_files(
+    source_fs: FileSystem,
+    destination_fs: FileSystem,
+    skip_system: bool = True,
+) -> Dict[str, int]:
+    """Copy every root-listed file to the destination pack.
+
+    System files (the descriptor and the root directory itself) are skipped
+    by default -- the destination has its own.  Returns name -> bytes.
+    """
+    from .descriptor import DESCRIPTOR_NAME
+
+    skip = set()
+    if skip_system:
+        skip = {DESCRIPTOR_NAME.lower(), source_fs.root.name.lower(),
+                destination_fs.root.name.lower()}
+    copied: Dict[str, int] = {}
+    for name in source_fs.list_files():
+        if name.lower() in skip:
+            continue
+        copied[name] = copy_file(source_fs, destination_fs, name, replace=True)
+    return copied
+
+
+def duplicate_pack(source: DiskImage, destination: DiskImage) -> None:
+    """Sector-exact pack duplication (the CopyDisk utility).
+
+    The destination becomes byte-identical, including all hints -- which
+    stay valid because hint addresses are pack-relative.
+    """
+    if source.shape != destination.shape:
+        raise ValueError("packs have different shapes")
+    destination.restore(source)
+    destination.pack_id = source.pack_id + 1
+    for sector in destination.sectors():
+        sector.header = type(sector.header)(destination.pack_id, sector.header.address)

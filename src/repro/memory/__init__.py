@@ -1,0 +1,14 @@
+"""The simulated Alto main memory and the zone storage allocator."""
+
+from .core import MEMORY_WORDS, Memory, Region
+from .zone import FREE_LIST_END, MIN_BLOCK, Zone, allocate_vector
+
+__all__ = [
+    "FREE_LIST_END",
+    "MEMORY_WORDS",
+    "MIN_BLOCK",
+    "Memory",
+    "Region",
+    "Zone",
+    "allocate_vector",
+]

@@ -1,0 +1,191 @@
+"""Zones: the BCPL-style free-storage allocator.
+
+Section 2: stream creation "takes as parameters ... a zone object which is
+used to acquire and release working storage"; section 5.2: "The storage
+allocator ... will build zone objects to allocate any part of memory,
+whether in the system free storage region or not."
+
+A ``Zone`` really allocates inside the simulated :class:`~repro.memory.core.Memory`
+-- its free list lives in the words it manages, exactly like the BCPL
+original -- so Junta can free a level's storage and hand the words to a user
+zone, and a world swap captures allocator state for free because it *is*
+memory contents.
+
+Block layout (addresses are word addresses inside the zone's region):
+
+* allocated block: ``[size][user words ... ]`` -- user pointer is header+1
+* free block:      ``[size][next-free ]...``   -- address-ordered free list
+
+``size`` counts the whole block including the header.  The free list is kept
+sorted by address and adjacent free blocks are coalesced on free, so a zone
+never fragments irreversibly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..errors import ZoneCorrupt, ZoneExhausted
+from ..words import WORD_MASK
+from .core import Memory, Region
+
+#: End-of-free-list sentinel (not a valid zone-internal address).
+FREE_LIST_END = WORD_MASK
+
+#: Smallest block: header word + link word.
+MIN_BLOCK = 2
+
+
+class Zone:
+    """A free-storage allocator over one memory region."""
+
+    def __init__(self, region: Region, name: str = "zone") -> None:
+        if len(region) < MIN_BLOCK:
+            raise ValueError(f"region too small for a zone: {len(region)} words")
+        if region.end > FREE_LIST_END:
+            raise ValueError("zone region collides with the free-list sentinel")
+        self.region = region
+        self.name = name
+        self._memory = region.memory
+        # One free block spanning the whole region.
+        self._memory.write(region.start, len(region))
+        self._memory.write(region.start + 1, FREE_LIST_END)
+        self._free_head = region.start
+        self.allocations = 0
+        self.frees = 0
+
+    # ------------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------------
+
+    def allocate(self, nwords: int) -> int:
+        """First-fit allocate *nwords* user words; returns the user address.
+
+        Raises :class:`ZoneExhausted` when no free block is big enough.
+        """
+        if nwords < 1:
+            raise ValueError("allocation must be at least one word")
+        need = max(nwords + 1, MIN_BLOCK)
+        prev = None
+        block = self._free_head
+        while block != FREE_LIST_END:
+            size = self._memory.read(block)
+            nxt = self._memory.read(block + 1)
+            if size >= need:
+                self._take(prev, block, size, need, nxt)
+                self.allocations += 1
+                return block + 1
+            prev, block = block, nxt
+        raise ZoneExhausted(f"{self.name}: no free block of {need} words (largest {self.largest_free()})")
+
+    def _take(self, prev, block: int, size: int, need: int, nxt: int) -> None:
+        """Carve *need* words off *block*, splitting when the rest is usable."""
+        remainder = size - need
+        if remainder >= MIN_BLOCK:
+            tail = block + need
+            self._memory.write(tail, remainder)
+            self._memory.write(tail + 1, nxt)
+            replacement = tail
+            self._memory.write(block, need)
+        else:
+            # Too small to split; the whole block goes to the caller.
+            replacement = nxt
+        self._link(prev, replacement)
+
+    def _link(self, prev, target: int) -> None:
+        if prev is None:
+            self._free_head = target
+        else:
+            self._memory.write(prev + 1, target)
+
+    # ------------------------------------------------------------------------
+    # Freeing
+    # ------------------------------------------------------------------------
+
+    def free(self, user_address: int) -> None:
+        """Return a block to the zone, coalescing with neighbours."""
+        block = user_address - 1
+        if not (self.region.start <= block < self.region.end):
+            raise ZoneCorrupt(f"{self.name}: address {user_address} not in this zone")
+        size = self._memory.read(block)
+        if size < MIN_BLOCK or block + size > self.region.end:
+            raise ZoneCorrupt(f"{self.name}: bad block header at {block} (size {size})")
+
+        # Find the address-ordered insertion point.
+        prev = None
+        cursor = self._free_head
+        while cursor != FREE_LIST_END and cursor < block:
+            prev, cursor = cursor, self._memory.read(cursor + 1)
+        if cursor == block or (prev is not None and prev + self._memory.read(prev) > block):
+            raise ZoneCorrupt(f"{self.name}: double free or overlap at {user_address}")
+        if cursor != FREE_LIST_END and block + size > cursor:
+            raise ZoneCorrupt(f"{self.name}: freed block at {block} overlaps free block at {cursor}")
+
+        # Coalesce forward.
+        if cursor != FREE_LIST_END and block + size == cursor:
+            size += self._memory.read(cursor)
+            cursor = self._memory.read(cursor + 1)
+        self._memory.write(block, size)
+        self._memory.write(block + 1, cursor)
+
+        # Coalesce backward.
+        if prev is not None and prev + self._memory.read(prev) == block:
+            self._memory.write(prev, self._memory.read(prev) + size)
+            self._memory.write(prev + 1, cursor)
+        else:
+            self._link(prev, block)
+        self.frees += 1
+
+    # ------------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------------
+
+    def free_blocks(self) -> Iterator[Tuple[int, int]]:
+        """Yield (address, size) for each free block, in address order."""
+        block = self._free_head
+        seen = 0
+        while block != FREE_LIST_END:
+            if not (self.region.start <= block < self.region.end):
+                raise ZoneCorrupt(f"{self.name}: free list escaped the region at {block}")
+            seen += 1
+            if seen > len(self.region):
+                raise ZoneCorrupt(f"{self.name}: free list cycle")
+            size = self._memory.read(block)
+            yield block, size
+            block = self._memory.read(block + 1)
+
+    def free_words(self) -> int:
+        """Total words on the free list (including headers)."""
+        return sum(size for _addr, size in self.free_blocks())
+
+    def largest_free(self) -> int:
+        """Largest single allocation (in user words) that could succeed now."""
+        largest = max((size for _addr, size in self.free_blocks()), default=0)
+        return max(largest - 1, 0)
+
+    def block_size(self, user_address: int) -> int:
+        """User words in the allocated block at *user_address*."""
+        return self._memory.read(user_address - 1) - 1
+
+    def check(self) -> None:
+        """Validate free-list invariants; raises :class:`ZoneCorrupt`."""
+        last_end = None
+        for addr, size in self.free_blocks():
+            if size < MIN_BLOCK or addr + size > self.region.end:
+                raise ZoneCorrupt(f"{self.name}: bad free block ({addr}, {size})")
+            if last_end is not None:
+                if addr < last_end:
+                    raise ZoneCorrupt(f"{self.name}: free list out of order at {addr}")
+                if addr == last_end:
+                    raise ZoneCorrupt(f"{self.name}: uncoalesced adjacent free blocks at {addr}")
+            last_end = addr + size
+
+    def __repr__(self) -> str:
+        return f"Zone({self.name!r}, {self.region}, free={self.free_words()})"
+
+
+def allocate_vector(zone: Zone, values: List[int]) -> int:
+    """Allocate and initialize a BCPL-style vector; returns its address."""
+    address = zone.allocate(max(len(values), 1))
+    zone.region.memory.write_block(address, values)
+    return address

@@ -1,0 +1,129 @@
+"""A minimal packet network (the substrate for section 4's printing server).
+
+The Alto's Ethernet carried PUP packets between hosts; the printing server
+"accepts files from a local communications network and prints them".  This
+module gives the reproduction the same shape: named hosts, word-payload
+packets, per-host receive queues, and delivery statistics -- enough to
+exercise the activity-switching world-swap discipline without modelling
+CSMA/CD.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..clock import SimClock
+from ..errors import ReproError
+from ..words import check_word
+
+
+class NetworkError(ReproError):
+    """Malformed packet or unknown host."""
+
+
+#: Packet types used by the printing protocol (and free for others).
+TYPE_DATA = 1
+TYPE_END_OF_FILE = 2
+TYPE_CONTROL = 3
+
+#: Maximum payload words per packet (a PUP carried up to 266 words; we use a
+#: page-friendly 256).
+MAX_PAYLOAD_WORDS = 256
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet: addressing, a type word, and a word payload."""
+
+    source: str
+    destination: str
+    ptype: int
+    payload: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD_WORDS:
+            raise NetworkError(f"payload of {len(self.payload)} words exceeds {MAX_PAYLOAD_WORDS}")
+        for w in self.payload:
+            check_word(w, "payload word")
+
+
+class PacketNetwork:
+    """Hosts with receive queues; delivery charges simulated wire time."""
+
+    #: 3 Mbit/s Ethernet ~ 5.3 us per word of payload; round up generously
+    #: to cover framing.
+    WIRE_US_PER_WORD = 6
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queues: Dict[str, Deque[Packet]] = {}
+        self._limits: Dict[str, int] = {}
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- membership -----------------------------------------------------------------
+
+    def attach(self, host: str, queue_limit: int = 1024) -> None:
+        if host in self._queues:
+            raise NetworkError(f"host {host!r} already attached")
+        self._queues[host] = deque()
+        self._limits[host] = queue_limit
+
+    def hosts(self) -> List[str]:
+        return sorted(self._queues)
+
+    # -- sending and receiving ---------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Deliver a packet; returns False (and counts a drop) when the
+        destination queue is full -- datagram semantics, no backpressure."""
+        queue = self._queues.get(packet.destination)
+        if queue is None:
+            raise NetworkError(f"unknown destination {packet.destination!r}")
+        self.clock.advance_us(
+            (len(packet.payload) + 4) * self.WIRE_US_PER_WORD, "net.wire"
+        )
+        if len(queue) >= self._limits[packet.destination]:
+            self.dropped += 1
+            return False
+        queue.append(packet)
+        self.delivered += 1
+        return True
+
+    def receive(self, host: str) -> Optional[Packet]:
+        """The next pending packet for *host*, or None."""
+        queue = self._queues.get(host)
+        if queue is None:
+            raise NetworkError(f"unknown host {host!r}")
+        return queue.popleft() if queue else None
+
+    def pending(self, host: str) -> int:
+        queue = self._queues.get(host)
+        if queue is None:
+            raise NetworkError(f"unknown host {host!r}")
+        return len(queue)
+
+
+def send_file(
+    network: PacketNetwork,
+    source: str,
+    destination: str,
+    title: str,
+    data: bytes,
+    chunk_words: int = MAX_PAYLOAD_WORDS,
+) -> int:
+    """Transmit *data* as a print job: data packets then an end marker whose
+    payload is the job title (BCPL string).  Returns packets sent."""
+    from ..words import bytes_to_words, string_to_words
+
+    words = bytes_to_words(data)
+    sent = 0
+    for base in range(0, max(len(words), 1), chunk_words):
+        chunk = tuple(words[base : base + chunk_words])
+        network.send(Packet(source, destination, TYPE_DATA, chunk))
+        sent += 1
+    trailer = tuple(string_to_words(title)) + (len(data) >> 16, len(data) & 0xFFFF)
+    network.send(Packet(source, destination, TYPE_END_OF_FILE, trailer))
+    return sent + 1

@@ -1,0 +1,195 @@
+"""The printing server (section 4): spooler and printer as coroutines.
+
+"One example is a printing server, a program that accepts files from a
+local communications network and prints them.  The program is divided into
+two tasks: a spooler that reads files from the network and queues them in a
+disk file, and a printer that removes entries from the queue and controls
+the hardware that prints them. ... Whenever the spooler is idle but the
+queue is not empty, it saves its state and calls the printer.  Whenever the
+printer is finished or detects incoming network traffic, it stops the
+printer hardware, saves its state, and invokes the spooler.  This scheme
+easily allows printing to be interrupted in order to respond quickly to
+incoming files."
+
+The two tasks communicate ONLY via disk files and world swaps: the spool
+queue is a directory-listed queue file, each job's data is its own file.
+The network and printer hardware are devices outside the swapped image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import FileNotFound
+from ..streams.disk_stream import open_read_stream, open_write_stream, read_string
+from ..words import bytes_to_words, from_double_word, words_to_bytes, words_to_string
+from ..world.swap import Halt, ProgramRegistry, Transfer, WorldProgram
+from .network import Packet, PacketNetwork, TYPE_CONTROL, TYPE_DATA, TYPE_END_OF_FILE
+
+SPOOLER_STATE = "Spooler.state"
+PRINTER_STATE = "Printer.state"
+QUEUE_FILE = "Spool.queue"
+
+#: Control payload asking the server to shut down after draining.
+SHUTDOWN_WORD = 0xDEAD
+
+
+class PrinterDevice:
+    """The printing hardware: consumes text, charges time per line."""
+
+    def __init__(self, clock, ms_per_line: float = 20.0, columns: int = 80) -> None:
+        self.clock = clock
+        self.ms_per_line = ms_per_line
+        self.columns = columns
+        self.jobs_printed: List[Tuple[str, int]] = []
+        self.output: List[str] = []
+
+    def print_job(self, title: str, text: str) -> int:
+        lines = text.split("\n")
+        for line in lines:
+            self.clock.advance_ms(self.ms_per_line, "printer")
+            self.output.append(line[: self.columns])
+        self.jobs_printed.append((title, len(lines)))
+        return len(lines)
+
+
+# ----------------------------------------------------------------------------
+# The spool queue on disk
+# ----------------------------------------------------------------------------
+
+
+def read_queue(fs) -> List[str]:
+    """Job-data file names queued, in arrival order."""
+    try:
+        file = fs.open_file(QUEUE_FILE)
+    except FileNotFound:
+        return []
+    text = file.read_data().decode("ascii")
+    return [line for line in text.split("\n") if line]
+
+
+def write_queue(fs, entries: List[str]) -> None:
+    try:
+        file = fs.open_file(QUEUE_FILE)
+    except FileNotFound:
+        file = fs.create_file(QUEUE_FILE)
+    file.write_data("\n".join(entries).encode("ascii") + (b"\n" if entries else b""))
+
+
+# ----------------------------------------------------------------------------
+# The two tasks
+# ----------------------------------------------------------------------------
+
+
+def build_printing_server(
+    registry: ProgramRegistry,
+    network: PacketNetwork,
+    printer: PrinterDevice,
+    host: str = "printserver",
+) -> None:
+    """Register the spooler and printer programs, bound to their devices.
+
+    (Binding by closure is the stand-in for the device driver code that was
+    part of each task's memory image.)
+    """
+
+    class Spooler(WorldProgram):
+        name = "spooler"
+
+        def phase_start(self, ctx, message):
+            return self._spool(ctx)
+
+        phase_resumed = phase_start
+
+        def _spool(self, ctx):
+            """Drain the network into the queue, then decide what's next."""
+            shutdown = False
+            while True:
+                packet = network.receive(host)
+                if packet is None:
+                    break
+                if packet.ptype == TYPE_CONTROL and SHUTDOWN_WORD in packet.payload:
+                    shutdown = True
+                    continue
+                if packet.ptype == TYPE_DATA:
+                    self._append_data(ctx, packet)
+                elif packet.ptype == TYPE_END_OF_FILE:
+                    self._finish_job(ctx, packet)
+            queue = read_queue(ctx.fs)
+            if queue:
+                # "Whenever the spooler is idle but the queue is not empty,
+                # it saves its state and calls the printer."
+                ctx.outload(SPOOLER_STATE, "resumed")
+                return Transfer(PRINTER_STATE, message=[1 if shutdown else 0])
+            if shutdown:
+                return Halt(("printed", list(printer.jobs_printed)))
+            # Idle with nothing queued: save state and halt politely; a
+            # later boot of SPOOLER_STATE resumes listening.
+            ctx.outload(SPOOLER_STATE, "resumed")
+            return Halt(("idle", list(printer.jobs_printed)))
+
+        def _append_data(self, ctx, packet) -> None:
+            name = f"Spool.incoming.{packet.source}"
+            try:
+                file = ctx.fs.open_file(name)
+            except FileNotFound:
+                file = ctx.fs.create_file(name)
+            data = file.read_data() + words_to_bytes(list(packet.payload))
+            file.write_data(data)
+
+        def _finish_job(self, ctx, packet) -> None:
+            payload = list(packet.payload)
+            title = words_to_string(payload[:-2])
+            nbytes = from_double_word(payload[-2], payload[-1])
+            incoming = f"Spool.incoming.{packet.source}"
+            try:
+                file = ctx.fs.open_file(incoming)
+                data = file.read_data()[:nbytes]
+                ctx.fs.delete_file(incoming)
+            except FileNotFound:
+                data = b""
+            queue = read_queue(ctx.fs)
+            job_name = f"Spool.job.{len(printer.jobs_printed) + len(queue) + 1}.{title}"
+            job = ctx.fs.create_file(job_name)
+            job.write_data(data)
+            write_queue(ctx.fs, queue + [job_name])
+
+    class Printer(WorldProgram):
+        name = "printer"
+
+        def phase_start(self, ctx, message):
+            return self._print(ctx, message)
+
+        phase_resumed = phase_start
+
+        def _print(self, ctx, message):
+            shutdown = bool(message and message[0])
+            while True:
+                if network.pending(host):
+                    # "Whenever the printer ... detects incoming network
+                    # traffic, it stops the printer hardware, saves its
+                    # state, and invokes the spooler."
+                    ctx.outload(PRINTER_STATE, "resumed")
+                    return Transfer(SPOOLER_STATE)
+                queue = read_queue(ctx.fs)
+                if not queue:
+                    ctx.outload(PRINTER_STATE, "resumed")
+                    if shutdown:
+                        return Halt(("printed", list(printer.jobs_printed)))
+                    return Transfer(SPOOLER_STATE)
+                job_name, rest = queue[0], queue[1:]
+                file = ctx.fs.open_file(job_name)
+                text = file.read_data().decode("ascii", errors="replace")
+                title = job_name.split(".", 3)[-1]
+                printer.print_job(title, text)
+                ctx.fs.delete_file(job_name)
+                write_queue(ctx.fs, rest)
+
+    registry.register(Spooler)
+    registry.register(Printer)
+
+
+def bootstrap_printer_state(engine) -> None:
+    """Write an initial printer state file so the spooler can call it."""
+    engine.swapper.outload(PRINTER_STATE, "printer", "start")

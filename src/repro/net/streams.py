@@ -1,0 +1,103 @@
+"""Network streams: the stream protocol over packet queues.
+
+Used by the diskless operating system (section 5.2: programs "that depend
+on network communications rather than on local disk storage").  A network
+read stream produces the payload words of successive packets addressed to a
+host; a write stream batches put words into packets.  Both are ordinary
+stream records -- one more demonstration that the protocol of section 2 is
+the interface, not any particular device.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import EndOfStream
+from ..streams.base import Stream
+from .network import MAX_PAYLOAD_WORDS, Packet, PacketNetwork, TYPE_DATA
+
+
+def network_read_stream(network: PacketNetwork, host: str) -> Stream:
+    """Produce the payload words of data packets arriving at *host*.
+
+    ``endof`` means "nothing pending right now" (a network stream has no
+    true end, like the keyboard).  Non-data packets are passed over.
+    """
+
+    def _fill(stream: Stream) -> bool:
+        state = stream.state
+        while state["position"] >= len(state["payload"]):
+            packet = state["network"].receive(state["host"])
+            if packet is None:
+                return False
+            if packet.ptype != TYPE_DATA:
+                continue
+            state["payload"] = list(packet.payload)
+            state["position"] = 0
+            state["last_source"] = packet.source
+        return True
+
+    def get(stream: Stream) -> int:
+        if not _fill(stream):
+            raise EndOfStream(f"no packets pending for {stream.state['host']}")
+        word = stream.state["payload"][stream.state["position"]]
+        stream.state["position"] += 1
+        return word
+
+    def endof(stream: Stream) -> bool:
+        return not _fill(stream)
+
+    stream = Stream(
+        get=get,
+        endof=endof,
+        reset=lambda s: s.state.update(payload=[], position=0),
+        network=network,
+        host=host,
+        payload=[],
+        position=0,
+        last_source=None,
+    )
+    stream.set_operation("source", lambda s: s.state["last_source"])
+    return stream
+
+
+def network_write_stream(
+    network: PacketNetwork,
+    source: str,
+    destination: str,
+    packet_words: int = MAX_PAYLOAD_WORDS,
+) -> Stream:
+    """Consume words into data packets; ``flush``/``close`` sends the tail.
+
+    A full buffer sends immediately, so long transfers pipeline.
+    """
+    if not 1 <= packet_words <= MAX_PAYLOAD_WORDS:
+        raise ValueError(f"packet size must be 1..{MAX_PAYLOAD_WORDS}")
+
+    def _send(stream: Stream) -> None:
+        buffer: List[int] = stream.state["buffer"]
+        if buffer:
+            stream.state["network"].send(
+                Packet(stream.state["source"], stream.state["destination"], TYPE_DATA,
+                       tuple(buffer))
+            )
+            stream.state["buffer"] = []
+
+    def put(stream: Stream, word: int) -> None:
+        stream.state["buffer"].append(word)
+        if len(stream.state["buffer"]) >= stream.state["packet_words"]:
+            _send(stream)
+
+    stream = Stream(
+        put=put,
+        endof=lambda s: False,
+        reset=lambda s: s.state.update(buffer=[]),
+        close=_send,
+        network=network,
+        source=source,
+        destination=destination,
+        buffer=[],
+        packet_words=packet_words,
+    )
+    stream.set_operation("flush", _send)
+    return stream

@@ -1,0 +1,60 @@
+"""The operating-system layer (section 5): Junta levels, the loader, the
+Executive, the keyboard process, and the AltoOS facade."""
+
+from .executive import COMMAND_FILE, Executive, RUN_EXTENSION
+from .junta import JuntaController
+from .kbdproc import KeyboardProcess, buffered_keyboard_stream
+from .levels import (
+    LEVELS,
+    LevelSpec,
+    MAX_LEVEL,
+    MIN_LEVEL,
+    fill_pattern,
+    layout,
+    level_providing,
+    resident_words,
+    services_at_or_below,
+    spec_for,
+)
+from .loader import (
+    CodeFile,
+    ExecutableRegistry,
+    Fixup,
+    LOAD_ADDRESS,
+    LoadedProgram,
+    ProgramLoader,
+    write_code_file,
+)
+from .diskless import DISKLESS_SERVICES, DisklessOS
+from .swat import Swat
+from .system import AltoOS
+
+__all__ = [
+    "AltoOS",
+    "DISKLESS_SERVICES",
+    "DisklessOS",
+    "Swat",
+    "COMMAND_FILE",
+    "CodeFile",
+    "ExecutableRegistry",
+    "Executive",
+    "Fixup",
+    "JuntaController",
+    "KeyboardProcess",
+    "LEVELS",
+    "LOAD_ADDRESS",
+    "LevelSpec",
+    "LoadedProgram",
+    "MAX_LEVEL",
+    "MIN_LEVEL",
+    "ProgramLoader",
+    "RUN_EXTENSION",
+    "buffered_keyboard_stream",
+    "fill_pattern",
+    "layout",
+    "level_providing",
+    "resident_words",
+    "services_at_or_below",
+    "spec_for",
+    "write_code_file",
+]

@@ -1,0 +1,166 @@
+"""The diskless operating system (section 5.2).
+
+"The display, keyboard, and storage-allocation packages have been assembled
+to form an operating system for use without a disk, used to support
+diagnostics or other programs that depend on network communications rather
+than on local disk storage."
+
+``DisklessOS`` is that alternate assembly: the same machine, keyboard
+process, display, zones, and (optionally) network streams -- but no drive,
+no file system, no swapping.  It exists because the packages were designed
+to stand alone (section 5.2's closing point: "It is the considerable effort
+that was devoted to refining the subroutine packages that makes them useful
+both as a cohesive operating system and as separate packages").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CommandError, ReproError
+from ..memory.zone import Zone
+from ..streams.base import Stream
+from ..streams.display import DisplayDevice, display_stream
+from ..streams.keyboard import KeyboardDevice
+from ..world.machine import Machine
+from .junta import JuntaController
+from .kbdproc import KeyboardProcess, buffered_keyboard_stream
+
+#: Levels a diskless system keeps resident: swapping and all disk-flavoured
+#: packages are simply absent (levels 1, 5, 6, 8, 9 removed by assembly, not
+#: by Junta -- this is a different build, not a subset of the standard one).
+DISKLESS_SERVICES = (
+    "type-ahead",
+    "stack-frames",
+    "runtime",
+    "zone-object",
+    "keyboard-stream",
+    "display-stream",
+    "system-zone",
+)
+
+
+class DisklessOS:
+    """Keyboard + display + zones (+ network), no disk anywhere."""
+
+    def __init__(self, machine: Optional[Machine] = None, network=None, host: str = "diskless"):
+        self.machine = machine if machine is not None else Machine()
+        self.junta = JuntaController(self.machine.memory)
+        self.keyboard_device: KeyboardDevice = self.machine.keyboard
+        self.keyboard_process = KeyboardProcess(self.junta.regions[2], self.keyboard_device)
+        self.display: DisplayDevice = self.machine.display
+        self.display_stream: Stream = display_stream(self.display)
+        self.keyboard_stream: Stream = buffered_keyboard_stream(self.keyboard_process)
+        self.system_zone = Zone(self.junta.regions[13], "system")
+        self.network = network
+        self.host = host
+        self.diagnostics: Dict[str, callable] = {
+            "memtest": self._diag_memtest,
+            "zonetest": self._diag_zonetest,
+            "echo": self._diag_echo,
+            "nettest": self._diag_nettest,
+        }
+
+    # ------------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------------
+
+    def network_read_stream(self) -> Stream:
+        if self.network is None:
+            raise CommandError("no network attached")
+        from ..net.streams import network_read_stream
+
+        return network_read_stream(self.network, self.host)
+
+    def network_write_stream(self, destination: str) -> Stream:
+        if self.network is None:
+            raise CommandError("no network attached")
+        from ..net.streams import network_write_stream
+
+        return network_write_stream(self.network, self.host, destination)
+
+    def new_zone(self, nwords: int, name: str = "user") -> Zone:
+        address = self.system_zone.allocate(nwords)
+        return Zone(self.machine.memory.region(address, nwords), name)
+
+    # ------------------------------------------------------------------------
+    # The diagnostics monitor (the program such systems were built for)
+    # ------------------------------------------------------------------------
+
+    def run_monitor(self, script: str, max_commands: int = 100) -> str:
+        """A tiny command monitor over keyboard/display only."""
+        self.keyboard_device.type_text(script)
+        self.keyboard_process.pump()
+        for _ in range(max_commands):
+            line = self._read_line()
+            if line is None or line.strip().lower() == "quit":
+                break
+            name = line.strip().split()[0].lower() if line.strip() else ""
+            handler = self.diagnostics.get(name)
+            if handler is None:
+                self.display.write(f"? unknown diagnostic: {name}\n")
+                continue
+            try:
+                handler(line.strip().split()[1:])
+            except ReproError as exc:
+                self.display.write(f"? {exc}\n")
+        return self.display.text()
+
+    def _read_line(self) -> Optional[str]:
+        out: List[str] = []
+        while True:
+            self.keyboard_process.pump()
+            ch = self.keyboard_process.read_char()
+            if ch is None:
+                return "".join(out) if out else None
+            self.display.write(ch)
+            if ch == "\n":
+                return "".join(out)
+            out.append(ch)
+
+    # -- the diagnostics -------------------------------------------------------------
+
+    def _diag_memtest(self, args: List[str]) -> None:
+        """March a pattern through a scratch region; report bad words."""
+        zone = self.new_zone(2048, "memtest")
+        base = zone.allocate(2000)
+        memory = self.machine.memory
+        bad = 0
+        for pattern in (0x5555, 0xAAAA, 0x0000, 0xFFFF):
+            for offset in range(2000):
+                memory[base + offset] = pattern
+            for offset in range(2000):
+                if memory[base + offset] != pattern:
+                    bad += 1
+        self.display.write(f"memtest: {4 * 2000} words checked, {bad} bad\n")
+
+    def _diag_zonetest(self, args: List[str]) -> None:
+        zone = self.new_zone(1024, "zonetest")
+        blocks = [zone.allocate(31) for _ in range(20)]
+        for block in blocks[::2]:
+            zone.free(block)
+        for block in blocks[1::2]:
+            zone.free(block)
+        zone.check()
+        self.display.write(f"zonetest: 20 blocks cycled, free list sound\n")
+
+    def _diag_echo(self, args: List[str]) -> None:
+        self.display.write(" ".join(args) + "\n")
+
+    def _diag_nettest(self, args: List[str]) -> None:
+        """Round-trip a payload to a loopback destination and back."""
+        if self.network is None:
+            self.display.write("nettest: no network attached\n")
+            return
+        destination = args[0] if args else self.host  # loop to self by default
+        out = self.network_write_stream(destination)
+        payload = list(range(64))
+        for word in payload:
+            out.put(word)
+        out.close()
+        back = self.network_read_stream()
+        received = []
+        while not back.endof() and len(received) < len(payload):
+            received.append(back.get())
+        ok = received == payload
+        self.display.write(f"nettest: {len(received)} words echoed, ok={ok}\n")

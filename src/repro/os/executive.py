@@ -1,0 +1,296 @@
+"""The Executive (section 5.1).
+
+"If the program returns, the system loads and runs a standard Executive
+program.  The Executive accepts user commands from the keyboard and
+executes them, often by calling the loader to invoke a program the user has
+requested."
+
+Section 4's conservative communication channel is also here: "a command
+scanner may write the command string typed by the user on a file with a
+standard name, and may then invoke a program that will execute the
+command" -- every command line is written to ``Com.cm`` before execution,
+so any program (in any language environment) can read what it was asked to
+do.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from ..errors import (
+    CommandError,
+    EndOfStream,
+    FileNotFound,
+    LoadError,
+    ReproError,
+)
+from ..streams.disk_stream import open_read_stream, open_write_stream, read_string, write_string
+
+#: The standard command file (Alto lineage: Com.cm).
+COMMAND_FILE = "Com.cm"
+
+#: Extension of runnable code files.
+RUN_EXTENSION = ".run"
+
+
+class Executive:
+    """The standard command interpreter."""
+
+    def __init__(self, os) -> None:
+        self.os = os
+        self.commands: Dict[str, Callable] = {
+            "ls": self._cmd_ls,
+            "type": self._cmd_type,
+            "write": self._cmd_write,
+            "copy": self._cmd_copy,
+            "delete": self._cmd_delete,
+            "rename": self._cmd_rename,
+            "info": self._cmd_info,
+            "dump": self._cmd_dump,
+            "free": self._cmd_free,
+            "scavenge": self._cmd_scavenge,
+            "compact": self._cmd_compact,
+            "programs": self._cmd_programs,
+            "quit": self._cmd_quit,
+        }
+        self.running = False
+        self._script_depth = 0
+
+    # ------------------------------------------------------------------------
+    # The read-eval loop
+    # ------------------------------------------------------------------------
+
+    def repl(self, max_commands: int = 1000) -> None:
+        """Read command lines from the keyboard until quit or no input."""
+        self.running = True
+        executed = 0
+        while self.running and executed < max_commands:
+            line = self._read_line()
+            if line is None:
+                break
+            if line.strip():
+                self.execute(line)
+                executed += 1
+        self.running = False
+
+    def _read_line(self) -> Optional[str]:
+        keyboard = self.os.keyboard_stream
+        out: List[str] = []
+        while True:
+            if keyboard.endof():
+                return "".join(out) if out else None
+            ch = keyboard.get()
+            self.os.display.write(ch)  # echo
+            if ch == "\n":
+                return "".join(out)
+            out.append(ch)
+
+    # ------------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------------
+
+    def execute(self, line: str) -> None:
+        """Execute one command line, echoing results to the display."""
+        self._record_command(line)
+        try:
+            parts = shlex.split(line)
+        except ValueError as exc:
+            self._print(f"? {exc}\n")
+            return
+        if not parts:
+            return
+        name, args = parts[0], parts[1:]
+        try:
+            if name.startswith("@"):
+                self._run_command_file(name[1:])
+                return
+            handler = self.commands.get(name.lower())
+            if handler is not None:
+                handler(args)
+            else:
+                self._run_program(name, args)
+        except ReproError as exc:
+            self._print(f"? {exc}\n")
+
+    def _record_command(self, line: str) -> None:
+        """Write the command string to the standard file (section 4)."""
+        fs = self.os.fs
+        try:
+            file = fs.open_file(COMMAND_FILE)
+        except FileNotFound:
+            file = fs.create_file(COMMAND_FILE)
+        stream = open_write_stream(file)
+        write_string(stream, line + "\n")
+        stream.close()
+
+    def _print(self, text: str) -> None:
+        self.os.display.write(text)
+
+    # ------------------------------------------------------------------------
+    # Built-in commands
+    # ------------------------------------------------------------------------
+
+    def _cmd_ls(self, args: List[str]) -> None:
+        directory = self.os.fs.root if not args else self.os.fs.open_directory(args[0])
+        for entry_name in sorted(directory.names(), key=str.lower):
+            self._print(entry_name + "\n")
+
+    def _cmd_type(self, args: List[str]) -> None:
+        if len(args) != 1:
+            raise CommandError("usage: type <file>")
+        file = self.os.fs.open_file(args[0])
+        stream = open_read_stream(file)
+        self._print(read_string(stream))
+        stream.close()
+        self._print("\n")
+
+    def _cmd_write(self, args: List[str]) -> None:
+        if len(args) < 2:
+            raise CommandError("usage: write <file> <text...>")
+        name, text = args[0], " ".join(args[1:])
+        fs = self.os.fs
+        try:
+            file = fs.open_file(name)
+        except FileNotFound:
+            file = fs.create_file(name)
+        stream = open_write_stream(file)
+        write_string(stream, text)
+        stream.close()
+        self._print(f"{len(text)} bytes\n")
+
+    def _cmd_delete(self, args: List[str]) -> None:
+        if len(args) != 1:
+            raise CommandError("usage: delete <file>")
+        self.os.fs.delete_file(args[0])
+        self._print("deleted\n")
+
+    def _cmd_rename(self, args: List[str]) -> None:
+        if len(args) != 2:
+            raise CommandError("usage: rename <old> <new>")
+        self.os.fs.rename_file(args[0], args[1])
+        self._print("renamed\n")
+
+    def _cmd_info(self, args: List[str]) -> None:
+        """Show a file's leader properties (the metadata of section 3.2)."""
+        if len(args) != 1:
+            raise CommandError("usage: info <file>")
+        file = self.os.fs.open_file(args[0])
+        leader = file.leader
+        self._print(
+            f"{leader.name}: {file.byte_length} bytes in {file.page_count()} pages "
+            f"(leader @{file.leader_address()})\n"
+            f"  created {leader.created}  written {leader.written}  read {leader.read}\n"
+            f"  serial {file.fid.serial:#010x} v{file.fid.version}"
+            f"{'  [directory]' if file.fid.is_directory else ''}"
+            f"{'  [maybe consecutive]' if leader.maybe_consecutive else ''}\n"
+        )
+
+    def _cmd_dump(self, args: List[str]) -> None:
+        """Hex-dump a page of a file: dump <file> [page]."""
+        if not 1 <= len(args) <= 2:
+            raise CommandError("usage: dump <file> [page]")
+        file = self.os.fs.open_file(args[0])
+        page = int(args[1]) if len(args) > 1 else 1
+        contents = file.read_page(page)
+        self._print(f"{file.name} page {page} (L={contents.label.length}):\n")
+        for base in range(0, 64, 8):  # first 64 words is plenty for a look
+            cells = " ".join(f"{w:04x}" for w in contents.value[base : base + 8])
+            self._print(f"  {base:03x}: {cells}\n")
+
+    def _cmd_free(self, args: List[str]) -> None:
+        self._print(f"{self.os.fs.free_pages()} free pages\n")
+
+    def _cmd_scavenge(self, args: List[str]) -> None:
+        report = self.os.scavenge()
+        self._print(
+            f"scavenged {report.sectors_swept} sectors, {report.files_found} files, "
+            f"{report.repairs_made()} repairs, {report.elapsed_s:.1f}s\n"
+        )
+
+    def _cmd_programs(self, args: List[str]) -> None:
+        for name in self.os.executables.names():
+            self._print(name + "\n")
+
+    def _cmd_quit(self, args: List[str]) -> None:
+        self.running = False
+
+    def _cmd_copy(self, args: List[str]) -> None:
+        if len(args) != 2:
+            raise CommandError("usage: copy <source> <destination>")
+        source, destination = args
+        data = self.os.fs.open_file(source).read_data()
+        fs = self.os.fs
+        try:
+            target = fs.open_file(destination)
+        except FileNotFound:
+            target = fs.create_file(destination)
+        target.write_data(data, now=fs.now())
+        self._print(f"{len(data)} bytes copied\n")
+
+    def _cmd_compact(self, args: List[str]) -> None:
+        from ..fs.compactor import Compactor
+
+        report = Compactor(self.os.fs.drive).compact()
+        # The compactor moved things; remount and drop stale caches.
+        from ..fs.filesystem import FileSystem
+
+        self.os.fs = FileSystem.mount(self.os.drive)
+        self.os.engine.fs = self.os.fs
+        self.os.engine.swapper.fs = self.os.fs
+        self.os.engine.swapper.forget_files()
+        self._print(
+            f"compacted: {report.pages_moved} pages moved, "
+            f"{report.files_compacted} files, {report.elapsed_s:.1f}s\n"
+        )
+
+    # ------------------------------------------------------------------------
+    # Command files (the @file convention)
+    # ------------------------------------------------------------------------
+
+    def _run_command_file(self, name: str) -> None:
+        """Execute commands from a file, one per line ("@setup" runs
+        Setup.cm or the literal name).  Nesting is allowed, shallowly."""
+        if self._script_depth >= 4:
+            raise CommandError("command files nested too deeply")
+        fs = self.os.fs
+        file = None
+        for candidate in (name, name + ".cm"):
+            if fs.root.lookup(candidate) is not None:
+                file = fs.open_file(candidate)
+                break
+        if file is None:
+            raise CommandError(f"no command file {name!r}")
+        lines = file.read_data().decode("ascii", errors="replace").splitlines()
+        was_running = self.running
+        self._script_depth += 1
+        try:
+            for line in lines:
+                if line.strip():
+                    self._print(f">{line}\n")  # echo with a script marker
+                    self.execute(line)
+                if was_running and not self.running:
+                    break  # the script said quit
+        finally:
+            self._script_depth -= 1
+
+    # ------------------------------------------------------------------------
+    # Loading programs
+    # ------------------------------------------------------------------------
+
+    def _run_program(self, name: str, args: List[str]) -> None:
+        """Load <name>.run (or <name> verbatim) and invoke it."""
+        fs = self.os.fs
+        candidates = [name] if name.lower().endswith(RUN_EXTENSION) else [name + RUN_EXTENSION, name]
+        file = None
+        for candidate in candidates:
+            entry = fs.root.lookup(candidate)
+            if entry is not None:
+                file = fs.open_entry(entry)
+                break
+        if file is None:
+            raise CommandError(f"unknown command or program: {name}")
+        self.os.loader.load_file(file)
+        result = self.os.loader.invoke(self.os, args)
+        if result is not None:
+            self._print(f"{result}\n")

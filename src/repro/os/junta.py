@@ -1,0 +1,201 @@
+"""Junta and CounterJunta (section 5.2).
+
+"A program that prefers not to use the standard procedures provided by the
+system, or that needs to use the memory space occupied by them, may request
+that some or all system procedures be deleted from memory.  The procedure
+that removes procedures is called Junta because it forcibly takes over the
+machine. ... The highest level number to be retained is passed as an
+argument to Junta, which removes all higher-numbered levels and frees the
+storage they occupy.  The CounterJunta procedure restores all levels that
+were removed, and reinitializes any data structures they contain."
+
+``JuntaController`` owns the level layout inside a machine's memory.
+``junta(n)`` marks levels above *n* non-resident and returns the freed
+contiguous region (the caller typically builds a Zone over it);
+``counter_junta()`` restores every level -- refilling its storage and
+re-running its initializer, the stand-in for restoring "from the
+InLoad/OutLoad context for the operating system".
+
+The residency bookkeeping itself is one word *inside the level-1 region*,
+because that is where it lived on the real machine: a world swap therefore
+carries the junta state along with the level contents, and a sufficiently
+errant program really can clobber it (section 4.1's worry about the
+InLoad/OutLoad level).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..errors import JuntaError
+from ..memory.core import Memory, Region
+from .levels import (
+    LEVELS,
+    MAX_LEVEL,
+    MIN_LEVEL,
+    fill_pattern,
+    layout,
+    level_providing,
+    spec_for,
+)
+
+#: Offset of the residency mask word within the level-1 region.
+_MASK_OFFSET = 0
+
+
+class JuntaController:
+    """Tracks which levels are resident and hands out their storage."""
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.regions: Dict[int, Region] = layout(memory)
+        self._initializers: Dict[int, Callable[[Region], None]] = {}
+        self.juntas = 0
+        self.counter_juntas = 0
+        for spec in LEVELS:
+            self._fill(spec.number)
+        self._write_mask(self._all_bits())
+
+    # ------------------------------------------------------------------------
+    # The residency mask (in simulated memory, so it swaps with the world)
+    # ------------------------------------------------------------------------
+
+    @staticmethod
+    def _bit(level_number: int) -> int:
+        return 1 << (level_number - 1)
+
+    @staticmethod
+    def _all_bits() -> int:
+        return (1 << MAX_LEVEL) - 1
+
+    def _read_mask(self) -> int:
+        return self.regions[MIN_LEVEL].read(_MASK_OFFSET)
+
+    def _write_mask(self, mask: int) -> None:
+        self.regions[MIN_LEVEL].write(_MASK_OFFSET, mask & 0xFFFF)
+
+    @property
+    def resident(self) -> Set[int]:
+        """The resident level numbers (a snapshot; mutate via junta/
+        counter_junta, or poke the mask word if you are feeling errant)."""
+        mask = self._read_mask()
+        return {spec.number for spec in LEVELS if mask & self._bit(spec.number)}
+
+    # ------------------------------------------------------------------------
+    # Residency queries
+    # ------------------------------------------------------------------------
+
+    def is_resident(self, level_number: int) -> bool:
+        spec_for(level_number)
+        return bool(self._read_mask() & self._bit(level_number))
+
+    def retained_level(self) -> int:
+        """The highest consecutive level currently resident."""
+        level = 0
+        mask = self._read_mask()
+        for spec in LEVELS:
+            if mask & self._bit(spec.number):
+                level = spec.number
+            else:
+                break
+        return level
+
+    def require_service(self, service: str) -> None:
+        """Fault unless the level providing *service* is resident.
+
+        This is what a system call does first; a program that removed disk
+        streams with Junta and then calls them gets a :class:`JuntaError`,
+        not garbage.
+        """
+        spec = level_providing(service)
+        if not self.is_resident(spec.number):
+            raise JuntaError(
+                f"service {service!r} lives in level {spec.number} ({spec.name}), "
+                f"which was removed by Junta"
+            )
+
+    def set_initializer(self, level_number: int, fn: Callable[[Region], None]) -> None:
+        """Register a data-structure initializer run by CounterJunta."""
+        spec_for(level_number)
+        self._initializers[level_number] = fn
+
+    # ------------------------------------------------------------------------
+    # Junta
+    # ------------------------------------------------------------------------
+
+    def junta(self, keep_up_to: int) -> Region:
+        """Remove all levels numbered above *keep_up_to*; return their
+        storage as one contiguous region (levels pack downward, so the freed
+        space is the block below the kept levels)."""
+        if not MIN_LEVEL <= keep_up_to <= MAX_LEVEL:
+            raise JuntaError(f"level must be {MIN_LEVEL}..{MAX_LEVEL}, got {keep_up_to}")
+        removed = [spec.number for spec in LEVELS if spec.number > keep_up_to]
+        if not removed:
+            # Keeping everything frees nothing.
+            base = self.regions[MAX_LEVEL].start
+            return self.memory.region(base, 0)
+        mask = self._read_mask()
+        for number in removed:
+            mask &= ~self._bit(number)
+        self._write_mask(mask)
+        self.juntas += 1
+        start = self.regions[max(removed)].start
+        end = self.regions[min(removed)].end
+        freed = self.memory.region(start, end - start)
+        freed.fill(0)
+        return freed
+
+    def counter_junta(self) -> None:
+        """Restore all removed levels and reinitialize their data.
+
+        Requires level 1 (which holds CounterJunta itself, and this very
+        bookkeeping) to be resident -- removing or clobbering it is the
+        "sufficiently errant program" of section 4.1.
+        """
+        mask = self._read_mask()
+        if not mask & self._bit(MIN_LEVEL):
+            raise JuntaError("level 1 (swapping/CounterJunta) is not resident")
+        for spec in LEVELS:
+            if not mask & self._bit(spec.number):
+                mask |= self._bit(spec.number)
+                self._write_mask(mask)
+                self._fill(spec.number)
+                initializer = self._initializers.get(spec.number)
+                if initializer is not None:
+                    initializer(self.regions[spec.number])
+        self._write_mask(mask)
+        self.counter_juntas += 1
+
+    # ------------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------------
+
+    def resident_words(self) -> int:
+        mask = self._read_mask()
+        return sum(
+            spec.size_words for spec in LEVELS if mask & self._bit(spec.number)
+        )
+
+    def free_words_available(self, keep_up_to: int) -> int:
+        """How many words junta(keep_up_to) would free from here."""
+        mask = self._read_mask()
+        return sum(
+            spec.size_words
+            for spec in LEVELS
+            if spec.number > keep_up_to and mask & self._bit(spec.number)
+        )
+
+    def _fill(self, level_number: int) -> None:
+        self.regions[level_number].fill(fill_pattern(level_number))
+        if level_number == MIN_LEVEL:
+            # Filling level 1 must not lose the bookkeeping word.
+            self._write_mask(self._all_bits())
+
+    def level_intact(self, level_number: int) -> bool:
+        """True when a level's storage still holds its fill pattern (tests
+        use this to prove Junta really freed -- and CounterJunta really
+        restored -- the memory).  Level 1's mask word is exempt."""
+        region = self.regions[level_number]
+        pattern = fill_pattern(level_number)
+        start = 1 if level_number == MIN_LEVEL else 0
+        return all(region.read(i) == pattern for i in range(start, len(region)))

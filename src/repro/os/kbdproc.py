@@ -1,0 +1,129 @@
+"""The interrupt-driven keyboard process (sections 2 and 5.2).
+
+"one [process] puts keyboard input characters into a buffer, while the
+other does all the interesting work.  The keyboard process is
+interrupt-driven and has no critical sections."
+
+``KeyboardProcess`` is that first process.  Its ring buffer lives *inside
+the simulated memory*, in the level-2 region -- which is why type-ahead
+survives both Junta (level 2 is nearly always retained) and world swaps
+(the buffer words travel with the memory image), exactly as section 5.2
+promises: "any characters typed ahead by the user when running one program
+are saved for interpretation by the next."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import MemoryFault
+from ..memory.core import Region
+from ..streams.base import Stream
+from ..streams.keyboard import KeyboardDevice
+
+#: Ring-buffer header words inside the region.
+_HEAD = 0
+_TAIL = 1
+_DATA = 2
+
+
+class KeyboardProcess:
+    """Moves keystrokes from the device into a memory-resident ring buffer."""
+
+    def __init__(self, region: Region, device: KeyboardDevice) -> None:
+        if len(region) < _DATA + 2:
+            raise ValueError("keyboard buffer region too small")
+        self.region = region
+        self.device = device
+        self.capacity = len(region) - _DATA
+        self.dropped = 0
+        self.initialize()
+
+    def initialize(self) -> None:
+        """Empty the buffer (CounterJunta's reinitialization hook)."""
+        self.region.write(_HEAD, 0)
+        self.region.write(_TAIL, 0)
+
+    # -- the interrupt side --------------------------------------------------------
+
+    def pump(self) -> int:
+        """Drain the device into the memory ring (the interrupt handler);
+        returns characters moved."""
+        moved = 0
+        while self.device.available():
+            ch = self.device.read_key()
+            if not self._push(ord(ch)):
+                self.dropped += 1
+                break
+            moved += 1
+        return moved
+
+    def _push(self, code: int) -> bool:
+        head, tail = self.region.read(_HEAD), self.region.read(_TAIL)
+        nxt = (tail + 1) % self.capacity
+        if nxt == head:
+            return False  # full
+        self.region.write(_DATA + tail, code)
+        self.region.write(_TAIL, nxt)
+        return True
+
+    # -- the reading side --------------------------------------------------------------
+
+    def available(self) -> int:
+        head, tail = self.region.read(_HEAD), self.region.read(_TAIL)
+        return (tail - head) % self.capacity
+
+    def read_char(self) -> Optional[str]:
+        head, tail = self.region.read(_HEAD), self.region.read(_TAIL)
+        if head == tail:
+            return None
+        code = self.region.read(_DATA + head)
+        self.region.write(_HEAD, (head + 1) % self.capacity)
+        return chr(code)
+
+    def peek_char(self) -> Optional[str]:
+        head, tail = self.region.read(_HEAD), self.region.read(_TAIL)
+        if head == tail:
+            return None
+        return chr(self.region.read(_DATA + head))
+
+    def contents(self) -> str:
+        """The buffered type-ahead, unconsumed."""
+        out = []
+        head, tail = self.region.read(_HEAD), self.region.read(_TAIL)
+        while head != tail:
+            out.append(chr(self.region.read(_DATA + head)))
+            head = (head + 1) % self.capacity
+        return "".join(out)
+
+
+def buffered_keyboard_stream(process: KeyboardProcess) -> Stream:
+    """The standard keyboard stream over the memory-resident buffer.
+
+    ``get`` pumps the device first, so scripted keystrokes are always
+    visible; ``endof`` means "no input pending right now".
+    """
+
+    def get(stream: Stream):
+        proc: KeyboardProcess = stream.state["process"]
+        proc.pump()
+        ch = proc.read_char()
+        if ch is None:
+            from ..errors import EndOfStream
+
+            raise EndOfStream("keyboard buffer empty")
+        return ch
+
+    def endof(stream: Stream) -> bool:
+        proc: KeyboardProcess = stream.state["process"]
+        proc.pump()
+        return proc.available() == 0
+
+    stream = Stream(
+        get=get,
+        endof=endof,
+        reset=lambda s: s.state["process"].initialize(),
+        process=process,
+    )
+    stream.set_operation("peek", lambda s: s.state["process"].peek_char())
+    return stream

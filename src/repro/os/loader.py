@@ -1,0 +1,225 @@
+"""The program loader (section 5.1).
+
+"Code for the program is read from a disk stream and loaded into low memory
+addresses.  All references to operating system procedures are bound, using
+a fixup table contained in the code file.  Finally, the program is invoked
+by calling a single entry routine."
+
+A code (".run") file's data is:
+
+* word 0: magic; word 1: format version;
+* word 2: code word count; word 3: fixup count;
+* 20 words: entry name (BCPL string) -- the behaviour looked up in the
+  executable registry (our stand-in for executing the code words);
+* fixup entries, each ``[code offset, service-name string words ...]``
+  prefixed by its total length;
+* the code words themselves (opaque payload in this reproduction).
+
+Binding is real: each fixup offset receives the memory address of the named
+service's dispatch slot inside its Junta level -- so loading a program that
+references a service whose level was removed fails with
+:class:`~repro.errors.FixupError`, exactly the discipline the level scheme
+imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import FixupError, JuntaError, LoadError
+from ..streams.base import Stream
+from ..streams.disk_stream import WORD_ITEMS, open_read_stream, open_write_stream
+from ..words import string_to_words, words_to_string
+from .junta import JuntaController
+from .levels import level_providing
+
+_MAGIC = 0xBC91  # "BCPL run file"
+_FORMAT_VERSION = 1
+_NAME_WORDS = 20
+
+#: Where program code is loaded: "low memory addresses".
+LOAD_ADDRESS = 0x0100
+
+
+@dataclass(frozen=True)
+class Fixup:
+    """One fixup-table entry: bind code[offset] to a system service."""
+
+    offset: int
+    service: str
+
+
+@dataclass
+class CodeFile:
+    """The decoded contents of a .run file."""
+
+    entry: str
+    code: List[int]
+    fixups: List[Fixup] = field(default_factory=list)
+
+    def pack_words(self) -> List[int]:
+        if not self.entry:
+            raise LoadError("code file needs an entry name")
+        header = [_MAGIC, _FORMAT_VERSION, len(self.code), len(self.fixups)]
+        name = string_to_words(self.entry, max_bytes=_NAME_WORDS * 2 - 1)
+        name += [0] * (_NAME_WORDS - len(name))
+        body: List[int] = []
+        for fixup in self.fixups:
+            service_words = string_to_words(fixup.service)
+            body.append(2 + len(service_words))  # entry length
+            body.append(fixup.offset)
+            body.extend(service_words)
+        return header + name + body + list(self.code)
+
+    @classmethod
+    def unpack_words(cls, words: Sequence[int]) -> "CodeFile":
+        if len(words) < 4 + _NAME_WORDS:
+            raise LoadError("code file truncated")
+        if words[0] != _MAGIC:
+            raise LoadError(f"bad code-file magic {words[0]:#06x}")
+        if words[1] != _FORMAT_VERSION:
+            raise LoadError(f"unknown code-file version {words[1]}")
+        code_count, fixup_count = words[2], words[3]
+        try:
+            entry = words_to_string(words[4 : 4 + _NAME_WORDS])
+        except ValueError as exc:
+            raise LoadError(f"corrupt entry name: {exc}") from exc
+        cursor = 4 + _NAME_WORDS
+        fixups: List[Fixup] = []
+        for _ in range(fixup_count):
+            if cursor >= len(words):
+                raise LoadError("fixup table truncated")
+            length = words[cursor]
+            if length < 3 or cursor + length > len(words):
+                raise LoadError(f"bad fixup entry length {length}")
+            offset = words[cursor + 1]
+            try:
+                service = words_to_string(words[cursor + 2 : cursor + length])
+            except ValueError as exc:
+                raise LoadError(f"corrupt fixup service name: {exc}") from exc
+            fixups.append(Fixup(offset=offset, service=service))
+            cursor += length
+        code = list(words[cursor : cursor + code_count])
+        if len(code) != code_count:
+            raise LoadError(f"code truncated: {len(code)} of {code_count} words")
+        for fixup in fixups:
+            if fixup.offset >= code_count:
+                raise LoadError(f"fixup offset {fixup.offset} beyond code of {code_count} words")
+        return cls(entry=entry, code=code, fixups=fixups)
+
+
+@dataclass
+class LoadedProgram:
+    """A program in memory, fixups bound, ready to invoke."""
+
+    entry: str
+    base: int
+    size: int
+    bound_services: Dict[str, int]
+
+
+class ExecutableRegistry:
+    """Entry names -> Python behaviours (the stand-in for the code words).
+
+    The real machine executed the loaded words; we dispatch on the entry
+    name.  Registering here is analogous to having the instruction set
+    (microcode) that the code words target.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Callable] = {}
+
+    def register(self, name: str, fn: Optional[Callable] = None):
+        if fn is None:
+            def decorator(f: Callable) -> Callable:
+                self._entries[name] = f
+                return f
+
+            return decorator
+        self._entries[name] = fn
+        return fn
+
+    def lookup(self, name: str) -> Callable:
+        fn = self._entries.get(name)
+        if fn is None:
+            raise LoadError(f"no behaviour registered for entry {name!r}")
+        return fn
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+
+class ProgramLoader:
+    """Loads code files into low memory and binds their fixups."""
+
+    def __init__(self, machine, junta: JuntaController, executables: ExecutableRegistry) -> None:
+        self.machine = machine
+        self.junta = junta
+        self.executables = executables
+        self.loaded: Optional[LoadedProgram] = None
+
+    # -- service dispatch addresses -------------------------------------------------
+
+    def service_address(self, service: str) -> int:
+        """The memory address of a service's dispatch slot in its level."""
+        self.junta.require_service(service)
+        spec = level_providing(service)
+        region = self.junta.regions[spec.number]
+        return region.start + spec.services.index(service)
+
+    # -- loading ----------------------------------------------------------------------
+
+    def load_stream(self, stream: Stream) -> LoadedProgram:
+        """Read a code file from a (word) disk stream and load it."""
+        words = []
+        while not stream.endof():
+            words.append(stream.get())
+        return self.load_words(words)
+
+    def load_words(self, words: Sequence[int]) -> LoadedProgram:
+        code_file = CodeFile.unpack_words(words)
+        code = list(code_file.code)
+        bound: Dict[str, int] = {}
+        for fixup in code_file.fixups:
+            try:
+                address = self.service_address(fixup.service)
+            except JuntaError as exc:
+                raise FixupError(str(exc)) from exc
+            except ValueError as exc:
+                raise FixupError(f"unknown system procedure {fixup.service!r}") from exc
+            code[fixup.offset] = address
+            bound[fixup.service] = address
+        # Overlay: loading replaces whatever program was in low memory.
+        self.machine.memory.write_block(LOAD_ADDRESS, code)
+        self.loaded = LoadedProgram(
+            entry=code_file.entry, base=LOAD_ADDRESS, size=len(code), bound_services=bound
+        )
+        return self.loaded
+
+    def load_file(self, file) -> LoadedProgram:
+        """Load from an AltoFile via a word disk stream (the paper's path)."""
+        stream = open_read_stream(file, items=WORD_ITEMS, update_dates=False)
+        try:
+            return self.load_stream(stream)
+        finally:
+            stream.close()
+
+    # -- invocation ------------------------------------------------------------------
+
+    def invoke(self, os, args: Sequence[str] = ()):
+        """Call the single entry routine of the loaded program."""
+        if self.loaded is None:
+            raise LoadError("no program loaded")
+        behaviour = self.executables.lookup(self.loaded.entry)
+        return behaviour(os, list(args))
+
+
+def write_code_file(fs, name: str, code_file: CodeFile):
+    """The "linker": write a runnable code file into the file system."""
+    file = fs.create_file(name) if fs.root.lookup(name) is None else fs.open_file(name)
+    stream = open_write_stream(file, items=WORD_ITEMS)
+    for word in code_file.pack_words():
+        stream.put(word)
+    stream.close()
+    return file

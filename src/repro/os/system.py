@@ -1,0 +1,224 @@
+"""The operating system facade: a collection of packages in one machine.
+
+Section 5: "The operating system is a collection of commonly used
+subroutine packages that are normally present in memory for the convenience
+of user programs."  ``AltoOS`` assembles the packages -- file system,
+streams, zones, swapping, loader, Executive -- over one machine and one
+drive, wires the Junta level map to them, and gates each service on its
+level's residency.
+
+Every component remains independently constructible (the openness
+property); this facade is merely the convenient standard assembly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..disk.drive import DiskDrive
+from ..errors import FileNotFound, JuntaError
+from ..fs.filesystem import FileSystem
+from ..fs.scavenger import ScavengeReport, Scavenger
+from ..memory.zone import Zone
+from ..streams.base import Stream
+from ..streams.disk_stream import open_read_stream, open_write_stream
+from ..streams.display import DisplayDevice, display_stream
+from ..streams.keyboard import KeyboardDevice
+from ..world.machine import Machine
+from ..world.swap import Halt, ProgramRegistry, WorldEngine, WorldProgram
+from .executive import Executive
+from .junta import JuntaController
+from .kbdproc import KeyboardProcess, buffered_keyboard_stream
+from .loader import ExecutableRegistry, ProgramLoader
+
+
+class AltoOS:
+    """One booted system: machine + mounted file system + packages."""
+
+    def __init__(
+        self,
+        drive: DiskDrive,
+        machine: Optional[Machine] = None,
+        format_disk: bool = False,
+    ) -> None:
+        self.drive = drive
+        if format_disk:
+            self.fs = FileSystem.format(drive)
+        else:
+            self.fs = FileSystem.mount(drive)
+        self.machine = machine if machine is not None else Machine()
+        self.junta = JuntaController(self.machine.memory)
+
+        # Level 2: the keyboard buffer, resident in the level's own region.
+        self.keyboard_device: KeyboardDevice = self.machine.keyboard
+        self.keyboard_process = KeyboardProcess(self.junta.regions[2], self.keyboard_device)
+        self.junta.set_initializer(2, lambda _region: self.keyboard_process.initialize())
+
+        # Level 11/10: display and keyboard streams.
+        self.display: DisplayDevice = self.machine.display
+        self.display_stream: Stream = display_stream(self.display)
+        self.keyboard_stream: Stream = buffered_keyboard_stream(self.keyboard_process)
+
+        # Level 13: the system free-storage zone.
+        self.system_zone = Zone(self.junta.regions[13], "system")
+        self.junta.set_initializer(
+            13, lambda region: setattr(self, "system_zone", Zone(region, "system"))
+        )
+
+        # Swapping, loading, commands.
+        self.programs = ProgramRegistry()
+        self.engine = WorldEngine(self.machine, self.fs, self.programs)
+        self.executables = ExecutableRegistry()
+        self.loader = ProgramLoader(self.machine, self.junta, self.executables)
+        self.executive = Executive(self)
+
+    # ------------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------------
+
+    @classmethod
+    def format(cls, drive: DiskDrive, machine: Optional[Machine] = None) -> "AltoOS":
+        return cls(drive, machine=machine, format_disk=True)
+
+    @classmethod
+    def mount(cls, drive: DiskDrive, machine: Optional[Machine] = None) -> "AltoOS":
+        return cls(drive, machine=machine)
+
+    # ------------------------------------------------------------------------
+    # Service-gated package access
+    # ------------------------------------------------------------------------
+
+    def read_stream(self, name: str, **kwargs) -> Stream:
+        """Open a read disk stream (requires levels 8 and 9)."""
+        self.junta.require_service("disk-stream")
+        self.junta.require_service("directory")
+        return open_read_stream(self.fs.open_file(name), **kwargs)
+
+    def write_stream(self, name: str, create: bool = True, **kwargs) -> Stream:
+        """Open a write disk stream, creating the file by default."""
+        self.junta.require_service("disk-stream")
+        self.junta.require_service("directory")
+        try:
+            file = self.fs.open_file(name)
+        except FileNotFound:
+            if not create:
+                raise
+            file = self.fs.create_file(name)
+        return open_write_stream(file, **kwargs)
+
+    def new_zone(self, nwords: int, name: str = "user") -> Zone:
+        """Allocate a fresh zone from system free storage (level 7 + 13)."""
+        self.junta.require_service("zone-object")
+        self.junta.require_service("system-zone")
+        address = self.system_zone.allocate(nwords)
+        return Zone(self.machine.memory.region(address, nwords), name)
+
+    def scavenge(self) -> ScavengeReport:
+        """Run the Scavenger, then remount and rewire the file system."""
+        report = Scavenger(self.drive).scavenge()
+        self.fs = FileSystem.mount(self.drive)
+        self.engine.fs = self.fs
+        self.engine.swapper.fs = self.fs
+        self.engine.swapper.forget_files()
+        return report
+
+    # ------------------------------------------------------------------------
+    # Junta / CounterJunta
+    # ------------------------------------------------------------------------
+
+    def call_junta(self, keep_up_to: int):
+        """Remove levels above *keep_up_to*; returns the freed region.
+
+        The caller now owns that memory ("A programmer desiring even more
+        flexibility is encouraged to remove most of the system ... and to
+        incorporate copies of the standard packages in his own program").
+        """
+        return self.junta.junta(keep_up_to)
+
+    def call_counter_junta(self) -> None:
+        """Restore the standard system after a program finishes."""
+        self.junta.counter_junta()
+
+    # ------------------------------------------------------------------------
+    # The system as a world (section 5.1)
+    # ------------------------------------------------------------------------
+
+    def install_system_world(self, file_name: str = "AltoOS.world") -> None:
+        """Save the operating system itself as a state file.
+
+        Section 5.1: "Programs that run under the operating system may also
+        be invoked from an entirely different programming environment.  The
+        InLoad procedure is invoked on the file that contains the operating
+        system state, which causes the system to be loaded and initialized.
+        The message vector passed to InLoad may contain the name of a file
+        containing the program to be invoked.  A stream is opened on this
+        file, and the program is loaded and run."
+
+        The registered ``alto-os`` world program implements exactly that
+        entry: an empty message runs the Executive on whatever is typed
+        ahead; a message carrying a BCPL-coded file name loads and runs
+        that code file.
+        """
+        from ..words import words_to_string
+
+        system = self
+
+        if "alto-os" not in self.programs.names():
+
+            class AltoOSWorld(WorldProgram):
+                name = "alto-os"
+
+                def phase_boot(self, ctx, message):
+                    system.call_counter_junta()  # reinitialize the packages
+                    if message:
+                        program_file_name = words_to_string(list(message))
+                        file = system.fs.open_file(program_file_name)
+                        system.loader.load_file(file)
+                        return Halt(system.loader.invoke(system))
+                    system.executive.repl()
+                    return Halt(system.display.text())
+
+            self.programs.register(AltoOSWorld)
+        self.engine.swapper.outload(file_name, "alto-os", "boot")
+
+    # ------------------------------------------------------------------------
+    # The DEBUG key (section 4)
+    # ------------------------------------------------------------------------
+
+    def install_debug_key(self, state_file: str = "Swatee") -> None:
+        """Arm the DEBUG key: striking it writes the machine state on a
+        disk file (section 4: "when the user strikes a special DEBUG key on
+        the keyboard, the state of the machine is written on a disk file").
+
+        The saved world resumes at the Executive when InLoaded -- a
+        registered debugger program can then examine or patch the file (see
+        ``examples/debugger.py``).  The Alto's file was called Swatee (the
+        thing Swat, the debugger, operates on).
+        """
+
+        def on_debug_key() -> None:
+            self.engine.swapper.emergency_outload(state_file, "executive")
+            self.display.write(f"\n[DEBUG] state written to {state_file}\n")
+
+        self.keyboard_device.debug_handler = on_debug_key
+
+    # ------------------------------------------------------------------------
+    # Keyboard and the Executive
+    # ------------------------------------------------------------------------
+
+    def type_ahead(self, text: str) -> None:
+        """Simulate the user typing (lands in the interrupt buffer)."""
+        self.keyboard_device.type_text(text)
+        self.keyboard_process.pump()
+
+    def run_executive(self, script: Optional[str] = None, max_commands: int = 1000) -> str:
+        """Feed *script* to the keyboard and run the Executive; returns the
+        display text accumulated meanwhile."""
+        before = self.display.scrolled
+        if script is not None:
+            self.type_ahead(script)
+        self.executive.repl(max_commands=max_commands)
+        return self.display.text()
+
+    def __repr__(self) -> str:
+        return f"AltoOS({self.fs!r}, level={self.junta.retained_level()})"

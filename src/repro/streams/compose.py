@@ -1,0 +1,143 @@
+"""Stream combinators: building larger streams out of smaller ones.
+
+The openness thesis applied to streams: because every stream is just a
+record of operation slots, wrapping one stream in another is ordinary
+programming -- no system support needed.  These combinators are the ones
+the Alto world actually used (tees for logging terminal sessions, filters
+for character translation, counters for accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import EndOfStream
+from .base import Stream
+
+
+def tee_stream(*sinks: Stream) -> Stream:
+    """A put-stream that forwards every item to all *sinks*."""
+    return Stream(
+        put=lambda s, item: [sink.put(item) for sink in s.state["sinks"]] and None,
+        endof=lambda s: False,
+        reset=lambda s: [sink.reset() for sink in s.state["sinks"]] and None,
+        sinks=list(sinks),
+    )
+
+
+def map_read_stream(source: Stream, fn: Callable[[Any], Any]) -> Stream:
+    """A get-stream applying *fn* to each item of *source*."""
+    return Stream(
+        get=lambda s: s.state["fn"](s.state["source"].get()),
+        endof=lambda s: s.state["source"].endof(),
+        reset=lambda s: s.state["source"].reset(),
+        source=source,
+        fn=fn,
+    )
+
+
+def map_write_stream(sink: Stream, fn: Callable[[Any], Any]) -> Stream:
+    """A put-stream applying *fn* to each item before it reaches *sink*."""
+    return Stream(
+        put=lambda s, item: s.state["sink"].put(s.state["fn"](item)),
+        endof=lambda s: False,
+        reset=lambda s: s.state["sink"].reset(),
+        sink=sink,
+        fn=fn,
+    )
+
+
+def filter_read_stream(source: Stream, keep: Callable[[Any], bool]) -> Stream:
+    """A get-stream passing through only items satisfying *keep*.
+
+    ``endof`` must look ahead, so it buffers at most one item in the
+    stream's own state record -- state lives in the record, as always.
+    """
+
+    def _fill(stream: Stream) -> bool:
+        if stream.state["pending"] is not None:
+            return True
+        source = stream.state["source"]
+        while not source.endof():
+            item = source.get()
+            if stream.state["keep"](item):
+                stream.state["pending"] = item
+                return True
+        return False
+
+    def get(stream: Stream) -> Any:
+        if not _fill(stream):
+            raise EndOfStream("filtered stream exhausted")
+        item = stream.state["pending"]
+        stream.state["pending"] = None
+        return item
+
+    def reset(stream: Stream) -> None:
+        stream.state["source"].reset()
+        stream.state["pending"] = None
+
+    return Stream(
+        get=get,
+        endof=lambda s: not _fill(s),
+        reset=reset,
+        source=source,
+        keep=keep,
+        pending=None,
+    )
+
+
+def counting_stream(inner: Stream) -> Stream:
+    """Wrap *inner*, counting gets and puts in ``state['gets'|'puts']``.
+
+    Demonstrates slot replacement: the wrapper presents the same protocol
+    with extra behaviour layered on.
+    """
+
+    def get(stream: Stream) -> Any:
+        item = stream.state["inner"].get()
+        stream.state["gets"] += 1
+        return item
+
+    def put(stream: Stream, item: Any) -> None:
+        stream.state["inner"].put(item)
+        stream.state["puts"] += 1
+
+    wrapper = Stream(
+        get=get if inner.supports("get") else None,
+        put=put if inner.supports("put") else None,
+        endof=lambda s: s.state["inner"].endof(),
+        reset=lambda s: s.state["inner"].reset(),
+        close=lambda s: s.state["inner"].close(),
+        inner=inner,
+        gets=0,
+        puts=0,
+    )
+    wrapper.set_operation("counts", lambda s: (s.state["gets"], s.state["puts"]))
+    return wrapper
+
+
+def concatenate_read_streams(sources: Sequence[Stream]) -> Stream:
+    """A get-stream producing all items of each source in turn."""
+
+    def _advance(stream: Stream) -> None:
+        while stream.state["index"] < len(stream.state["sources"]):
+            if not stream.state["sources"][stream.state["index"]].endof():
+                return
+            stream.state["index"] += 1
+
+    def get(stream: Stream) -> Any:
+        _advance(stream)
+        if stream.state["index"] >= len(stream.state["sources"]):
+            raise EndOfStream("concatenated streams exhausted")
+        return stream.state["sources"][stream.state["index"]].get()
+
+    def endof(stream: Stream) -> bool:
+        _advance(stream)
+        return stream.state["index"] >= len(stream.state["sources"])
+
+    def reset(stream: Stream) -> None:
+        for source in stream.state["sources"]:
+            source.reset()
+        stream.state["index"] = 0
+
+    return Stream(get=get, endof=endof, reset=reset, sources=list(sources), index=0)

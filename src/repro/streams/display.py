@@ -1,0 +1,80 @@
+"""The display: a character raster and its output stream.
+
+The Alto's bitmap display is represented here as a text raster (the system
+display stream "simulate[d] a teletype terminal", section 6 -- which is
+exactly what experimental programs used Junta to remove).  The device keeps
+a fixed-size screen with scrolling; the stream puts characters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Stream
+
+DEFAULT_COLUMNS = 80
+DEFAULT_LINES = 40
+
+
+class DisplayDevice:
+    """A scrolling text screen."""
+
+    def __init__(self, columns: int = DEFAULT_COLUMNS, lines: int = DEFAULT_LINES) -> None:
+        if columns < 1 or lines < 1:
+            raise ValueError("degenerate display geometry")
+        self.columns = columns
+        self.lines = lines
+        self._screen: List[str] = [""]
+        self.scrolled = 0
+
+    # -- writing -------------------------------------------------------------------
+
+    def put_char(self, ch: str) -> None:
+        if ch == "\n":
+            self._newline()
+        elif ch == "\r":
+            self._screen[-1] = ""
+        elif ch == "\b":
+            self._screen[-1] = self._screen[-1][:-1]
+        elif ch == "\f":
+            self.clear()
+        else:
+            if len(self._screen[-1]) >= self.columns:
+                self._newline()
+            self._screen[-1] += ch
+
+    def write(self, text: str) -> None:
+        for ch in text:
+            self.put_char(ch)
+
+    def _newline(self) -> None:
+        self._screen.append("")
+        while len(self._screen) > self.lines:
+            self._screen.pop(0)
+            self.scrolled += 1
+
+    def clear(self) -> None:
+        self._screen = [""]
+
+    # -- reading (for tests and the examples) ------------------------------------------
+
+    def text(self) -> str:
+        return "\n".join(self._screen)
+
+    def visible_lines(self) -> List[str]:
+        return list(self._screen)
+
+    def current_line(self) -> str:
+        return self._screen[-1]
+
+
+def display_stream(device: DisplayDevice) -> Stream:
+    """The standard display output stream."""
+    stream = Stream(
+        put=lambda s, item: s.state["device"].put_char(item if isinstance(item, str) else chr(item)),
+        reset=lambda s: s.state["device"].clear(),
+        endof=lambda s: False,
+        device=device,
+    )
+    stream.set_operation("text", lambda s: s.state["device"].text())
+    return stream

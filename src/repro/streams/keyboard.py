@@ -1,0 +1,96 @@
+"""The keyboard: an interrupt-fed type-ahead buffer and its stream.
+
+Section 2: "the current version of the system has only two processes, one
+of which puts keyboard input characters into a buffer, while the other does
+all the interesting work."  Section 5.2: "The keyboard input buffer is
+present nearly always, so that any characters typed ahead by the user when
+running one program are saved for interpretation by the next."
+
+``KeyboardDevice`` is the hardware+interrupt side: test scripts and
+examples call :meth:`type_text` to simulate keystrokes, which land in the
+type-ahead buffer immediately (the interrupt handler "has no critical
+sections").  ``keyboard_stream`` is the reading side used by programs and
+the Executive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import EndOfStream
+from .base import Stream
+
+#: The DEBUG key of section 4 ("when the user strikes a special DEBUG key").
+DEBUG_KEY = "\x04"
+
+
+class KeyboardDevice:
+    """The type-ahead buffer, fed by the simulated keyboard interrupt."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._buffer: Deque[str] = deque()
+        self.dropped = 0
+        self.debug_handler = None
+
+    # -- the interrupt side ------------------------------------------------------
+
+    def key_down(self, ch: str) -> None:
+        """One keystroke arrives (interrupt level)."""
+        if ch == DEBUG_KEY and self.debug_handler is not None:
+            self.debug_handler()
+            return
+        if len(self._buffer) >= self.capacity:
+            self.dropped += 1  # the real hardware beeped; we count
+            return
+        self._buffer.append(ch)
+
+    def type_text(self, text: str) -> None:
+        """Simulate the user typing *text* (possibly ahead of any reader)."""
+        for ch in text:
+            self.key_down(ch)
+
+    # -- the reading side -----------------------------------------------------------
+
+    def available(self) -> int:
+        return len(self._buffer)
+
+    def read_key(self) -> str:
+        if not self._buffer:
+            raise EndOfStream("keyboard buffer empty")
+        return self._buffer.popleft()
+
+    def peek(self) -> Optional[str]:
+        return self._buffer[0] if self._buffer else None
+
+    def flush(self) -> None:
+        self._buffer.clear()
+
+    def snapshot(self) -> str:
+        """The buffered type-ahead, unconsumed (used by world swap: the
+        buffer is part of the memory image and survives program changes)."""
+        return "".join(self._buffer)
+
+    def restore(self, text: str) -> None:
+        self.flush()
+        for ch in text:
+            self._buffer.append(ch)
+
+
+def keyboard_stream(device: KeyboardDevice) -> Stream:
+    """The standard keyboard stream: Get pops the type-ahead buffer.
+
+    ``endof`` reports buffer-empty (an interactive stream has no true end);
+    Get on an empty buffer raises :class:`EndOfStream` rather than blocking,
+    since the system is single-threaded apart from the keyboard interrupt.
+    """
+    stream = Stream(
+        get=lambda s: s.state["device"].read_key(),
+        endof=lambda s: s.state["device"].available() == 0,
+        reset=lambda s: s.state["device"].flush(),
+        device=device,
+    )
+    stream.set_operation("peek", lambda s: s.state["device"].peek())
+    stream.set_operation("available", lambda s: s.state["device"].available())
+    return stream

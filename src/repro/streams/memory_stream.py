@@ -1,0 +1,87 @@
+"""In-memory streams: vectors of items, byte strings, and sinks.
+
+These are the cheapest concrete stream implementations and double as the
+reference semantics for the protocol tests.  ``Reset`` returns a read
+stream to its first item and empties a write stream -- the "standard
+initial state" for these types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+from ..errors import EndOfStream
+from .base import Stream
+
+
+def vector_read_stream(items: Sequence[Any]) -> Stream:
+    """A stream producing the items of a sequence, in order."""
+
+    def get(stream: Stream) -> Any:
+        if stream.state["position"] >= len(stream.state["items"]):
+            raise EndOfStream("vector read stream exhausted")
+        item = stream.state["items"][stream.state["position"]]
+        stream.state["position"] += 1
+        return item
+
+    def endof(stream: Stream) -> bool:
+        return stream.state["position"] >= len(stream.state["items"])
+
+    def reset(stream: Stream) -> None:
+        stream.state["position"] = 0
+
+    stream = Stream(get=get, endof=endof, reset=reset, items=list(items), position=0)
+    stream.set_operation("read_position", lambda s: s.state["position"])
+    stream.set_operation(
+        "set_position",
+        lambda s, p: s.state.__setitem__("position", max(0, min(p, len(s.state["items"])))),
+    )
+    return stream
+
+
+def vector_write_stream() -> Stream:
+    """A stream consuming items into a growing list (``state['items']``)."""
+
+    def put(stream: Stream, item: Any) -> None:
+        stream.state["items"].append(item)
+
+    def reset(stream: Stream) -> None:
+        stream.state["items"].clear()
+
+    stream = Stream(put=put, reset=reset, endof=lambda s: False, items=[])
+    stream.set_operation("contents", lambda s: list(s.state["items"]))
+    return stream
+
+
+def byte_read_stream(data: bytes) -> Stream:
+    """A stream producing the bytes of *data* as ints."""
+    return vector_read_stream(list(data))
+
+
+def byte_write_stream() -> Stream:
+    """A stream consuming byte values; ``call('bytes')`` yields them."""
+    stream = vector_write_stream()
+    stream.set_operation("bytes", lambda s: bytes(s.state["items"]))
+    return stream
+
+
+def string_read_stream(text: str) -> Stream:
+    """A stream producing the characters of *text*."""
+    return vector_read_stream(list(text))
+
+
+def string_write_stream() -> Stream:
+    """A stream consuming characters; ``call('contents')`` joins them."""
+    stream = vector_write_stream()
+    stream.set_operation("string", lambda s: "".join(s.state["items"]))
+    return stream
+
+
+def null_stream() -> Stream:
+    """Accepts everything, produces nothing (the /dev/null of streams)."""
+    return Stream(
+        put=lambda s, item: None,
+        get=lambda s: (_ for _ in ()).throw(EndOfStream("null stream")),
+        endof=lambda s: True,
+        reset=lambda s: None,
+    )

@@ -1,0 +1,125 @@
+"""A display raster that lives in the simulated memory.
+
+On the real Alto the display was refreshed straight out of main memory (the
+bitmap took a substantial fraction of the 64k), which had a striking
+consequence for world swapping: OutLoad captured the *screen image* along
+with everything else, and InLoad put the caller's screen back.  The plain
+:class:`~repro.streams.display.DisplayDevice` keeps its text on the Python
+side and misses that behaviour; ``MemoryRaster`` stores the character cells
+in a :class:`~repro.memory.core.Region`, so whatever owns that memory
+(world images, Junta) owns the screen contents too.
+
+Layout inside the region: word 0 = cursor column, word 1 = cursor line,
+then ``lines`` rows of ``columns`` words, one character code per word
+(0 renders as a space).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memory.core import Region
+from .base import Stream
+
+_CURSOR_COLUMN = 0
+_CURSOR_LINE = 1
+_CELLS = 2
+
+
+def raster_words(columns: int, lines: int) -> int:
+    """Words of memory a raster of this geometry needs."""
+    return _CELLS + columns * lines
+
+
+class MemoryRaster:
+    """A scrolling character raster stored in simulated memory."""
+
+    def __init__(self, region: Region, columns: int = 64, lines: int = 16) -> None:
+        if columns < 1 or lines < 1:
+            raise ValueError("degenerate raster geometry")
+        if len(region) < raster_words(columns, lines):
+            raise ValueError(
+                f"raster needs {raster_words(columns, lines)} words, region has {len(region)}"
+            )
+        self.region = region
+        self.columns = columns
+        self.lines = lines
+
+    # -- cursor ------------------------------------------------------------------
+
+    def _cursor(self) -> tuple:
+        return self.region.read(_CURSOR_COLUMN), self.region.read(_CURSOR_LINE)
+
+    def _set_cursor(self, column: int, line: int) -> None:
+        self.region.write(_CURSOR_COLUMN, column)
+        self.region.write(_CURSOR_LINE, line)
+
+    def _cell(self, column: int, line: int) -> int:
+        return _CELLS + line * self.columns + column
+
+    # -- writing -------------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.region.fill(0)
+
+    def put_char(self, ch: str) -> None:
+        column, line = self._cursor()
+        if ch == "\n":
+            column, line = 0, line + 1
+        elif ch == "\r":
+            column = 0
+        elif ch == "\b":
+            if column > 0:
+                column -= 1
+                self.region.write(self._cell(column, line), 0)
+        elif ch == "\f":
+            self.clear()
+            return
+        else:
+            if column >= self.columns:
+                column, line = 0, line + 1
+                line = self._maybe_scroll(line)
+            self.region.write(self._cell(column, line), ord(ch))
+            column += 1
+        line = self._maybe_scroll(line)
+        self._set_cursor(column, line)
+
+    def _maybe_scroll(self, line: int) -> int:
+        while line >= self.lines:
+            # Move every row up one; blank the last.
+            for row in range(1, self.lines):
+                data = self.region.read_block(self._cell(0, row), self.columns)
+                self.region.write_block(self._cell(0, row - 1), data)
+            self.region.write_block(self._cell(0, self.lines - 1), [0] * self.columns)
+            line -= 1
+        return line
+
+    def write(self, text: str) -> None:
+        for ch in text:
+            self.put_char(ch)
+
+    # -- reading ---------------------------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        codes = self.region.read_block(self._cell(0, line), self.columns)
+        return "".join(chr(c) if c else " " for c in codes).rstrip()
+
+    def visible_lines(self) -> List[str]:
+        return [self.line_text(line) for line in range(self.lines)]
+
+    def text(self) -> str:
+        return "\n".join(self.visible_lines()).rstrip("\n")
+
+
+def raster_stream(raster: MemoryRaster) -> Stream:
+    """The standard display stream over a memory raster."""
+    stream = Stream(
+        put=lambda s, item: s.state["raster"].put_char(
+            item if isinstance(item, str) else chr(item)
+        ),
+        reset=lambda s: s.state["raster"].clear(),
+        endof=lambda s: False,
+        raster=raster,
+    )
+    stream.set_operation("text", lambda s: s.state["raster"].text())
+    return stream

@@ -1,0 +1,156 @@
+"""Random-access update streams: read-modify-write on one file.
+
+The editor of section 3.6 rewrites the middle of its scratch files; a
+truncate-or-append stream cannot do that.  An update stream buffers one
+page, serves gets and puts at a settable byte position, and flushes the
+buffer (an ordinary label-checked value write) when the position leaves
+the page or the stream closes.
+
+Growing the file by putting at end-of-file is supported (it appends pages
+through the normal change-length discipline); sparse positioning past the
+end is not -- the paper's files have no holes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import EndOfStream, StreamError
+from ..fs.file import AltoFile, FULL_PAGE
+from ..words import PAGE_DATA_BYTES, bytes_to_words, words_to_bytes
+from .base import Stream
+
+
+def open_update_stream(file: AltoFile, now: Optional[int] = None) -> Stream:
+    """A byte-item stream supporting get, put, and set_position anywhere.
+
+    ``get`` past the end raises :class:`EndOfStream`; ``put`` at the end
+    extends the file.  ``length``/``read_position``/``set_position``/
+    ``flush`` are provided as non-standard operations.
+    """
+
+    def _page_of(position: int) -> int:
+        return position // PAGE_DATA_BYTES + 1
+
+    def _load(stream: Stream, page_number: int) -> None:
+        _flush(stream)
+        state = stream.state
+        file = state["file"]
+        if page_number > file.last_page_number:
+            # A fresh page past the current end: appending grows the chain.
+            while file.last_page_number < page_number:
+                file.append_page([], 0)
+            state["buffer"] = bytearray()
+        else:
+            contents = file.read_page(page_number)
+            state["buffer"] = bytearray(
+                words_to_bytes(contents.value, nbytes=contents.label.length)
+            )
+        state["buffer_pn"] = page_number
+
+    def _flush(stream: Stream) -> None:
+        state = stream.state
+        if state["buffer_pn"] < 0 or not state["dirty"]:
+            return
+        file = state["file"]
+        pn = state["buffer_pn"]
+        buffer = bytes(state["buffer"])
+        if pn < file.last_page_number:
+            # Interior page: must be full (it was when loaded).
+            if len(buffer) != PAGE_DATA_BYTES:
+                raise StreamError(f"interior page {pn} buffer is {len(buffer)} bytes")
+            file.write_full_page(pn, bytes_to_words(buffer))
+        else:
+            file.write_last_page(bytes_to_words(buffer), length=len(buffer))
+        state["dirty"] = False
+
+    def _ensure_loaded(stream: Stream, position: int) -> None:
+        page_number = _page_of(position)
+        if stream.state["buffer_pn"] != page_number:
+            _load(stream, page_number)
+
+    def get(stream: Stream) -> int:
+        state = stream.state
+        if state["position"] >= state["length"]:
+            raise EndOfStream(f"end of {state['file'].name}")
+        _ensure_loaded(stream, state["position"])
+        byte = state["buffer"][state["position"] % PAGE_DATA_BYTES]
+        state["position"] += 1
+        return byte
+
+    def put(stream: Stream, item: int) -> None:
+        if not 0 <= item <= 0xFF:
+            raise StreamError(f"byte item out of range: {item}")
+        state = stream.state
+        position = state["position"]
+        if position > state["length"]:
+            raise StreamError(
+                f"position {position} past end {state['length']}; files have no holes"
+            )
+        _ensure_loaded(stream, position)
+        offset = position % PAGE_DATA_BYTES
+        buffer = state["buffer"]
+        if offset < len(buffer):
+            buffer[offset] = item
+        elif offset == len(buffer):
+            buffer.append(item)
+        else:
+            raise StreamError(f"page buffer gap at offset {offset}")
+        state["dirty"] = True
+        state["position"] = position + 1
+        state["length"] = max(state["length"], state["position"])
+        if len(buffer) >= PAGE_DATA_BYTES and state["position"] % PAGE_DATA_BYTES == 0:
+            # The page filled exactly: flushing now keeps the invariant
+            # simple (a full last page triggers the append in _load later).
+            _flush_full_tail(stream)
+
+    def _flush_full_tail(stream: Stream) -> None:
+        """A full buffer on the last page: commit it via append promotion."""
+        state = stream.state
+        file = state["file"]
+        pn = state["buffer_pn"]
+        if pn == file.last_page_number:
+            file.append_page([], 0)
+            file.write_full_page(pn, bytes_to_words(bytes(state["buffer"])))
+            state["dirty"] = False
+        else:
+            _flush(stream)
+
+    def endof(stream: Stream) -> bool:
+        return stream.state["position"] >= stream.state["length"]
+
+    def reset(stream: Stream) -> None:
+        stream.state["position"] = 0
+
+    def close(stream: Stream) -> None:
+        _flush(stream)
+        file = stream.state["file"]
+        stamp = now if now is not None else round(file.page_io.drive.clock.now_s)
+        file.touch(written=stamp)
+
+    stream = Stream(
+        get=get,
+        put=put,
+        endof=endof,
+        reset=reset,
+        close=close,
+        file=file,
+        position=0,
+        length=file.byte_length,
+        buffer=bytearray(),
+        buffer_pn=-1,
+        dirty=False,
+    )
+
+    def set_position(stream: Stream, position: int) -> None:
+        if not 0 <= position <= stream.state["length"]:
+            raise StreamError(
+                f"position {position} outside [0, {stream.state['length']}]"
+            )
+        stream.state["position"] = position
+
+    stream.set_operation("set_position", set_position)
+    stream.set_operation("read_position", lambda s: s.state["position"])
+    stream.set_operation("length", lambda s: s.state["length"])
+    stream.set_operation("flush", lambda s: _flush(s))
+    return stream

@@ -1,0 +1,149 @@
+"""16-bit word arithmetic and packing helpers.
+
+The Alto is a 16-bit word machine; every on-disk and in-memory structure in
+this reproduction is ultimately a sequence of 16-bit words, exactly as in the
+paper ("each object can be represented by a 16-bit machine word", section 2).
+This module centralizes the word discipline: masking, double-word packing,
+byte packing (two bytes per word, big-endian within the word as on the Alto),
+and BCPL-style string coding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+WORD_BITS = 16
+WORD_MASK = 0xFFFF
+WORD_MODULUS = 0x10000
+BYTES_PER_WORD = 2
+MAX_WORD = WORD_MASK
+
+#: Number of data words in a disk page (section 3.1: "a value -- 256 data
+#: words") and the corresponding byte count ("pages ... have L=512").
+PAGE_DATA_WORDS = 256
+PAGE_DATA_BYTES = PAGE_DATA_WORDS * BYTES_PER_WORD
+
+
+def word(value: int) -> int:
+    """Truncate *value* to an unsigned 16-bit word (modular arithmetic)."""
+    return value & WORD_MASK
+
+
+def is_word(value: object) -> bool:
+    """Return True when *value* is an int in the 16-bit unsigned range."""
+    return isinstance(value, int) and 0 <= value <= WORD_MASK
+
+
+def check_word(value: int, what: str = "value") -> int:
+    """Validate that *value* fits in a word; return it unchanged.
+
+    Raises ValueError otherwise.  Used at package boundaries so that errors
+    surface where they are introduced rather than as corrupt disk data.
+    """
+    if not isinstance(value, int):
+        raise ValueError(f"{what} must be an int, got {type(value).__name__}")
+    if not 0 <= value <= WORD_MASK:
+        raise ValueError(f"{what} must fit in 16 bits, got {value}")
+    return value
+
+
+def to_double_word(value: int) -> tuple:
+    """Split a 32-bit value into (high word, low word).
+
+    File serial numbers are "two words" (section 3.1); this is the packing
+    used for them and for any other 32-bit on-disk quantity.
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"double-word value out of range: {value}")
+    return (value >> WORD_BITS) & WORD_MASK, value & WORD_MASK
+
+
+def from_double_word(high: int, low: int) -> int:
+    """Combine (high word, low word) into a 32-bit value."""
+    return (check_word(high, "high") << WORD_BITS) | check_word(low, "low")
+
+
+def bytes_to_words(data: bytes, pad: int = 0) -> List[int]:
+    """Pack bytes into words, two per word, high byte first.
+
+    An odd trailing byte is padded with *pad* (default 0) in the low byte,
+    matching the Alto convention that the byte count -- not the word count --
+    records the true length.
+    """
+    words = []
+    for i in range(0, len(data) - 1, 2):
+        words.append((data[i] << 8) | data[i + 1])
+    if len(data) % 2:
+        words.append((data[-1] << 8) | (pad & 0xFF))
+    return words
+
+
+def words_to_bytes(words: Sequence[int], nbytes: int = -1) -> bytes:
+    """Unpack words into bytes, high byte first.
+
+    When *nbytes* is given, the result is truncated to that many bytes (used
+    to honour a page's byte length L, which may be odd).
+    """
+    out = bytearray()
+    for w in words:
+        out.append((w >> 8) & 0xFF)
+        out.append(w & 0xFF)
+    if nbytes >= 0:
+        if nbytes > len(out):
+            raise ValueError(f"asked for {nbytes} bytes from {len(out)} available")
+        del out[nbytes:]
+    return bytes(out)
+
+
+def string_to_words(text: str, max_bytes: int = 255) -> List[int]:
+    """Encode a string as a BCPL string: length byte, then character bytes.
+
+    BCPL strings carry their length in the first byte, so they are limited to
+    255 characters.  Leader names and directory entry names use this coding.
+    """
+    data = text.encode("ascii")
+    if len(data) > max_bytes:
+        raise ValueError(f"string too long for BCPL coding: {len(data)} > {max_bytes}")
+    return bytes_to_words(bytes([len(data)]) + data)
+
+
+def words_to_string(words: Sequence[int]) -> str:
+    """Decode a BCPL string (length byte + characters) from words."""
+    data = words_to_bytes(words)
+    if not data:
+        return ""
+    length = data[0]
+    if length > len(data) - 1:
+        raise ValueError(f"corrupt BCPL string: length byte {length}, only {len(data) - 1} bytes follow")
+    return data[1 : 1 + length].decode("ascii")
+
+
+def string_word_count(text: str) -> int:
+    """Number of words the BCPL coding of *text* occupies."""
+    return (1 + len(text.encode("ascii")) + 1) // 2
+
+
+def zero_words(count: int) -> List[int]:
+    """A fresh list of *count* zero words."""
+    return [0] * count
+
+
+def ones_words(count: int) -> List[int]:
+    """A fresh list of *count* all-ones words.
+
+    Freeing a page writes "ones ... into label and value" (section 3.3); this
+    is the pattern used.
+    """
+    return [WORD_MASK] * count
+
+
+def checksum(words: Iterable[int]) -> int:
+    """One's-complement-style 16-bit checksum over a word sequence.
+
+    Used by the world-swap state files to detect torn writes; the Alto disk
+    hardware kept a checksum per record, which we fold into the same role.
+    """
+    total = 0
+    for w in words:
+        total = (total + w) & WORD_MASK
+    return total ^ WORD_MASK

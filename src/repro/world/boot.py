@@ -1,0 +1,85 @@
+"""Booting (section 4): restoring the world from a fixed disk location.
+
+"A hardware bootstrap button causes the state of the machine to be restored
+from a disk file whose first page is kept at a fixed location on the disk.
+This boot file may be written by a linker ... Alternatively, the file may
+have been written by saving the state of a running program that will be
+resumed each time the machine is bootstrapped."
+
+The fixed location is disk address 0 (reserved at format time).  A boot
+file is an ordinary file whose *first data page* (page 1) is pinned there;
+the hardware reads that sector, follows the label's back link to the
+leader, and restores the world.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..disk.drive import DiskDrive
+from ..disk.geometry import NIL
+from ..errors import FileFormatError, WorldError
+from ..fs.allocator import PageAllocator
+from ..fs.descriptor import BOOT_PAGE_ADDRESS
+from ..fs.file import AltoFile
+from ..fs.filesystem import FileSystem
+from ..fs.leader import LeaderPage
+from ..fs.names import FileId, FullName, page_number_from_label
+from ..fs.page import PageIO
+from .machine import Machine
+from .swap import WorldEngine
+
+BOOT_FILE_NAME = "Sys.boot"
+
+
+def create_boot_file(fs: FileSystem, name: str = BOOT_FILE_NAME) -> AltoFile:
+    """Create the boot file, pinning its page 1 at disk address 0.
+
+    The file starts empty; writing a world image into it (via
+    ``WorldSwapper.outload``) makes the pack bootable with that image.
+    """
+    if fs.root.lookup(name) is not None:
+        raise FileFormatError(f"{name!r} already exists")
+    fid = fs.new_fid()
+    now = fs.now()
+    # Claim page 1 at the fixed address first (the sector is label-free even
+    # though the map has it reserved).
+    page1_label = fid.label_for(1, length=0, next_link=NIL, prev_link=NIL)
+    fs.page_io.claim(BOOT_PAGE_ADDRESS, page1_label, [])
+    fs.allocator.mark_busy(BOOT_PAGE_ADDRESS)
+    # Now the leader, linked to it.
+    leader = LeaderPage(name=name, created=now, written=now, read=now, last_page_number=1,
+                        last_page_address=BOOT_PAGE_ADDRESS)
+    leader_label = fid.label_for(0, length=512, next_link=BOOT_PAGE_ADDRESS, prev_link=NIL)
+    leader_address = fs.allocator.allocate(fs.page_io, leader_label, leader.pack())
+    # Fix page 1's back link (one revolution).
+    fs.page_io.rewrite_label(
+        FullName(fid, 1, BOOT_PAGE_ADDRESS),
+        fid.label_for(1, length=0, next_link=NIL, prev_link=leader_address),
+    )
+    fs.root.add(name, FullName(fid, 0, leader_address))
+    file = AltoFile.open(fs.page_io, fs.allocator, FullName(fid, 0, leader_address))
+    return file
+
+
+def read_boot_pointer(drive: DiskDrive) -> FullName:
+    """What the boot hardware does first: read the fixed sector's label and
+    derive the boot file's full name (leader via the back link)."""
+    label = drive.read_label(BOOT_PAGE_ADDRESS)
+    if not label.in_use:
+        raise WorldError("no boot file installed (fixed sector is free)")
+    if page_number_from_label(label) != 1:
+        raise WorldError("fixed sector does not hold page 1 of a boot file")
+    if label.prev_link == NIL:
+        raise WorldError("boot page has no back link to its leader")
+    return FullName(FileId.from_label(label), 0, label.prev_link)
+
+
+def hardware_boot(engine: WorldEngine):
+    """Press the boot button: restore the world from the fixed location and
+    run it.  Returns whatever the booted world eventually Halts with."""
+    leader = read_boot_pointer(engine.fs.drive)
+    file = AltoFile.open(engine.fs.page_io, engine.fs.allocator, leader)
+    # Run through the swapper so its file cache warms up for later OutLoads.
+    engine.swapper._files[file.name] = file
+    return engine.run_from_file(file.name)

@@ -1,0 +1,54 @@
+"""Checkpointing (section 4): periodic state saves and resumption.
+
+"A program may occasionally save its state on a disk file.  It may then be
+interrupted, either by a processor malfunction or by user action (e.g.,
+bootstrapping the machine).  The computation may be resumed later by
+restoring the machine state from the checkpoint file."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import BadStateFile
+from .swap import SwapContext, WorldEngine
+
+
+class Checkpointer:
+    """Periodic checkpoints against the simulated clock."""
+
+    def __init__(self, file_name: str, interval_s: float, resume_phase: str = "resume") -> None:
+        if interval_s <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.file_name = file_name
+        self.interval_s = interval_s
+        self.resume_phase = resume_phase
+        self._last_s: Optional[float] = None
+        self.checkpoints_taken = 0
+
+    def maybe_checkpoint(self, ctx: SwapContext) -> bool:
+        """Checkpoint if the interval has elapsed; returns True if taken.
+
+        The checkpoint records *resume_phase*, so after a crash the program
+        restarts there with everything its memory held at the save.
+        """
+        now = ctx.fs.drive.clock.now_s
+        if self._last_s is not None and now - self._last_s < self.interval_s:
+            return False
+        self.checkpoint(ctx)
+        return True
+
+    def checkpoint(self, ctx: SwapContext) -> None:
+        """Unconditionally save state now."""
+        ctx.outload(self.file_name, self.resume_phase)
+        self._last_s = ctx.fs.drive.clock.now_s
+        self.checkpoints_taken += 1
+
+
+def resume_from_checkpoint(engine: WorldEngine, file_name: str):
+    """Restore a checkpointed computation and run it to completion.
+
+    Raises :class:`BadStateFile` when the checkpoint is torn or missing --
+    callers typically fall back to starting the computation fresh.
+    """
+    return engine.run_from_file(file_name)

@@ -1,0 +1,48 @@
+"""The coroutine linkage built on InLoad/OutLoad (section 4.1).
+
+"Code for a coroutine linkage thus looks like:
+
+    messageToPartner = parameters to pass in coroutine call;
+    (written, messageFromPartner) := OutLoad(myStateFN);
+    if written then InLoad(partnerStateFN, messageToPartner);
+    messageFromPartner contains parameters passed to me;"
+
+:func:`coroutine_call` packages that idiom: write my state resuming at
+*resume_phase*, then transfer to the partner's state file with the message.
+The partner's reply arrives as the message of *resume_phase*.  Return
+addresses travel in the message itself, encoded with
+:func:`~repro.world.statefile.full_name_to_words`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .statefile import check_message
+from .swap import SwapContext, Transfer
+
+
+def coroutine_call(
+    ctx: SwapContext,
+    my_state_file: str,
+    partner_state_file: str,
+    message: Optional[Sequence[int]] = None,
+    resume_phase: str = "resumed",
+) -> Transfer:
+    """One coroutine step: save me, call my partner.
+
+    Returns the :class:`Transfer` the current phase should return; when the
+    partner (or anyone) InLoads *my_state_file*, this program resumes at
+    *resume_phase* with whatever message that InLoad carried.
+    """
+    ctx.outload(my_state_file, resume_phase)
+    return Transfer(partner_state_file, check_message(message))
+
+
+def reply(ctx: SwapContext, partner_state_file: str, message: Optional[Sequence[int]] = None,
+          my_state_file: Optional[str] = None, resume_phase: str = "resumed") -> Transfer:
+    """Answer a coroutine call: optionally save our own state first, then
+    transfer back to the partner with *message*."""
+    if my_state_file is not None:
+        ctx.outload(my_state_file, resume_phase)
+    return Transfer(partner_state_file, check_message(message))

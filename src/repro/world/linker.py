@@ -1,0 +1,92 @@
+"""The boot-file linker (section 4).
+
+"This boot file may be written by a linker that writes programs and data in
+the file, arranged so that they will constitute a running program when the
+machine state is restored from the file."
+
+:func:`link_boot_program` does exactly that: it loads a code file into the
+machine's low memory (binding its fixup table against the current Junta
+levels), writes the entry name and arguments *into the memory image* at a
+conventional address -- the linker's "data" -- and OutLoads the whole world
+into the boot file.  Pressing the boot button then restores that world and
+runs the program, with no file system or loader needed at boot time: the
+program is already in (restored) memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import LoadError
+from ..words import string_to_words, words_to_string
+from .swap import Halt, WorldProgram
+
+#: Where the linker writes its launch vector in the memory image
+#: (below the program load address).
+ENTRY_VECTOR = 0x00C0
+_ENTRY_WORDS = 20
+_ARGS_WORDS = 30
+LAUNCH_VECTOR_WORDS = _ENTRY_WORDS + _ARGS_WORDS
+
+#: The name under which the generic launcher is registered.
+LINKED_RUNNER = "linked-program"
+
+
+def write_launch_vector(memory, entry: str, args: Sequence[str]) -> None:
+    """Record the entry name and argument string in the memory image."""
+    entry_words = string_to_words(entry, max_bytes=_ENTRY_WORDS * 2 - 1)
+    entry_words += [0] * (_ENTRY_WORDS - len(entry_words))
+    args_text = " ".join(args)
+    args_words = string_to_words(args_text, max_bytes=_ARGS_WORDS * 2 - 1)
+    args_words += [0] * (_ARGS_WORDS - len(args_words))
+    memory.write_block(ENTRY_VECTOR, entry_words + args_words)
+
+
+def read_launch_vector(memory) -> tuple:
+    """Decode (entry, args) from the memory image."""
+    entry = words_to_string(memory.read_block(ENTRY_VECTOR, _ENTRY_WORDS))
+    args_text = words_to_string(
+        memory.read_block(ENTRY_VECTOR + _ENTRY_WORDS, _ARGS_WORDS)
+    )
+    if not entry:
+        raise LoadError("boot image has no launch vector")
+    return entry, args_text.split() if args_text else []
+
+
+def register_linked_runner(os) -> None:
+    """Register the generic launcher world program (idempotent).
+
+    The launcher is the few instructions a real boot image would begin
+    with: read the launch vector out of (restored) memory and jump to the
+    entry.
+    """
+    if LINKED_RUNNER in os.programs.names():
+        return
+
+    class LinkedProgramRunner(WorldProgram):
+        name = LINKED_RUNNER
+
+        def phase_run(self, ctx, message):
+            entry, args = read_launch_vector(ctx.machine.memory)
+            behaviour = os.executables.lookup(entry)
+            return Halt(behaviour(os, args))
+
+    os.programs.register(LinkedProgramRunner)
+
+
+def link_boot_program(
+    os,
+    code_file,
+    boot_file_name: str = "Sys.boot",
+    args: Sequence[str] = (),
+) -> None:
+    """Link *code_file* into a bootable world in *boot_file_name*.
+
+    The boot file must already exist (see
+    :func:`repro.world.boot.create_boot_file`); its contents are replaced
+    with a world image that runs the program when booted.
+    """
+    loaded = os.loader.load_words(code_file.pack_words())
+    write_launch_vector(os.machine.memory, loaded.entry, args)
+    register_linked_runner(os)
+    os.engine.swapper.outload(boot_file_name, LINKED_RUNNER, "run")

@@ -1,0 +1,59 @@
+"""Shared fixtures: small disks are enough for almost every behaviour."""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.disk import DiskDrive, DiskImage, FaultInjector, tiny_test_disk
+from repro.fs import FileSystem
+
+
+@pytest.fixture
+def shape():
+    return tiny_test_disk(cylinders=30)  # 720 sectors
+
+
+@pytest.fixture
+def image(shape):
+    return DiskImage(shape)
+
+
+@pytest.fixture
+def drive(image):
+    return DiskDrive(image)
+
+
+@pytest.fixture
+def fs(drive):
+    return FileSystem.format(drive)
+
+
+@pytest.fixture
+def injector(image):
+    return FaultInjector(image, seed=1979)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1979)
+
+
+@pytest.fixture
+def populated_fs(fs, rng):
+    """A file system with a spread of files (and some deletions)."""
+    payloads = {}
+    for i in range(12):
+        name = f"file{i:02}.dat"
+        data = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 2500)))
+        fs.create_file(name).write_data(data)
+        payloads[name] = data
+    for i in (3, 7):
+        fs.delete_file(f"file{i:02}.dat")
+        del payloads[f"file{i:02}.dat"]
+    sub = fs.create_directory("Sub")
+    fs.create_file("nested.txt", directory=sub).write_data(b"nested data")
+    payloads["nested.txt"] = b"nested data"
+    fs.sync()
+    fs.payloads = payloads
+    return fs

@@ -1,0 +1,99 @@
+"""Unit tests for disk shapes and addresses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.geometry import NIL, DiskShape, diablo31, diablo44, tiny_test_disk
+from repro.errors import AddressOutOfRange
+
+
+class TestShapes:
+    def test_diablo31_matches_the_paper(self):
+        """Section 2: 2.5 MB per pack, 64k words in about one second."""
+        shape = diablo31()
+        assert shape.total_sectors() == 4872
+        assert 2.4e6 < shape.capacity_bytes() < 2.6e6
+        seconds_for_64k_words = 65536 / shape.words_per_second()
+        assert 0.7 < seconds_for_64k_words < 1.3
+
+    def test_diablo44_is_about_twice_the_size_and_performance(self):
+        """Section 2: "about twice the size and performance"."""
+        small, big = diablo31(), diablo44()
+        assert 1.8 < big.capacity_bytes() / small.capacity_bytes() < 2.2
+        assert big.words_per_second() > 1.4 * small.words_per_second()
+
+    def test_degenerate_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DiskShape(cylinders=0)
+        with pytest.raises(ValueError):
+            DiskShape(heads=0)
+        with pytest.raises(ValueError):
+            DiskShape(sectors_per_track=0)
+
+    def test_too_large_for_one_word_addresses(self):
+        with pytest.raises(ValueError):
+            DiskShape(cylinders=4000, heads=2, sectors_per_track=12)
+
+    def test_sector_time(self):
+        shape = diablo31()
+        assert shape.sector_time_ms() == pytest.approx(40.0 / 12)
+
+
+class TestSeekModel:
+    def test_zero_distance_is_free(self):
+        assert diablo31().seek_time_ms(10, 10) == 0.0
+
+    def test_track_to_track(self):
+        assert diablo31().seek_time_ms(10, 11) == pytest.approx(15.0)
+
+    def test_full_stroke(self):
+        shape = diablo31()
+        assert shape.seek_time_ms(0, shape.cylinders - 1) == pytest.approx(135.0)
+
+    def test_monotone_in_distance(self):
+        shape = diablo31()
+        times = [shape.seek_time_ms(0, d) for d in range(1, shape.cylinders)]
+        assert times == sorted(times)
+
+    def test_symmetric(self):
+        shape = diablo31()
+        assert shape.seek_time_ms(5, 60) == shape.seek_time_ms(60, 5)
+
+
+class TestAddressMapping:
+    def test_compose_decompose_round_trip(self):
+        shape = tiny_test_disk()
+        for address in shape.addresses():
+            assert shape.compose(*shape.decompose(address)) == address
+
+    def test_cylinder_major_order(self):
+        shape = tiny_test_disk()
+        assert shape.decompose(0) == (0, 0, 0)
+        assert shape.decompose(shape.sectors_per_track) == (0, 1, 0)
+        assert shape.decompose(shape.sectors_per_cylinder()) == (1, 0, 0)
+
+    def test_out_of_range_rejected(self):
+        shape = tiny_test_disk()
+        with pytest.raises(AddressOutOfRange):
+            shape.check_address(shape.total_sectors())
+        with pytest.raises(AddressOutOfRange):
+            shape.check_address(NIL)
+        with pytest.raises(ValueError):
+            shape.check_address(-1)
+
+    def test_compose_bounds(self):
+        shape = tiny_test_disk()
+        with pytest.raises(ValueError):
+            shape.compose(shape.cylinders, 0, 0)
+        with pytest.raises(ValueError):
+            shape.compose(0, shape.heads, 0)
+        with pytest.raises(ValueError):
+            shape.compose(0, 0, shape.sectors_per_track)
+
+    @given(st.integers(min_value=0, max_value=4871))
+    def test_decompose_in_bounds_property(self, address):
+        shape = diablo31()
+        cylinder, head, sector = shape.decompose(address)
+        assert 0 <= cylinder < shape.cylinders
+        assert 0 <= head < shape.heads
+        assert 0 <= sector < shape.sectors_per_track

@@ -1,0 +1,71 @@
+"""Unit tests for the platter state."""
+
+import pytest
+
+from repro.disk import DiskImage, Label, Sector, tiny_test_disk
+from repro.errors import AddressOutOfRange
+
+
+@pytest.fixture
+def image():
+    return DiskImage(tiny_test_disk())
+
+
+class TestAccess:
+    def test_every_sector_fresh(self, image):
+        assert len(image) == image.shape.total_sectors()
+        assert all(s.label.is_free for s in image.sectors())
+
+    def test_headers_match_addresses(self, image):
+        for address in image.shape.addresses():
+            assert image.sector(address).header.address == address
+
+    def test_out_of_range(self, image):
+        with pytest.raises(AddressOutOfRange):
+            image.sector(len(image))
+
+    def test_set_sector(self, image):
+        sector = Sector.fresh(image.pack_id, 3)
+        sector.value[0] = 42
+        image.set_sector(3, sector)
+        assert image.sector(3).value[0] == 42
+
+
+class TestSnapshots:
+    def test_snapshot_is_independent(self, image):
+        snap = image.snapshot()
+        image.sector(0).value[0] = 123
+        assert snap.sector(0).value[0] == 0xFFFF
+
+    def test_restore(self, image):
+        snap = image.snapshot()
+        image.sector(5).label = Label(serial=0x4000_0001, version=1, page_number=1, length=0)
+        image.bad_media.add(7)
+        image.restore(snap)
+        assert image.sector(5).label.is_free
+        assert not image.bad_media
+
+    def test_restore_rejects_different_shape(self, image):
+        other = DiskImage(tiny_test_disk(cylinders=9))
+        with pytest.raises(ValueError):
+            image.restore(other)
+
+
+class TestStatistics:
+    def test_counts(self, image):
+        total = len(image)
+        assert image.count_free() == total
+        image.sector(0).label = Label(serial=0x4000_0001, version=1, page_number=1, length=0)
+        image.sector(1).label = Label.bad()
+        assert image.count_in_use() == 1
+        assert image.count_bad() == 1
+        assert image.count_free() == total - 2
+
+    def test_labels_by_serial(self, image):
+        for address, pn in ((0, 1), (4, 2)):
+            image.sector(address).label = Label(
+                serial=0x4000_0009, version=1, page_number=pn, length=0
+            )
+        grouped = image.labels_by_serial()
+        assert len(grouped) == 1
+        assert len(grouped[0x4000_0009]) == 2

@@ -1,0 +1,100 @@
+"""Timing-model tests: the costs the paper states must emerge from the model."""
+
+import pytest
+
+from repro.disk import Action, DiskDrive, DiskImage, Label, PartCommand, diablo31, tiny_test_disk, value_words
+from repro.disk.timing import ROTATION, SEEK, TRANSFER
+
+
+@pytest.fixture
+def drive():
+    return DiskDrive(DiskImage(tiny_test_disk(cylinders=40)))
+
+
+def in_use_label(serial=0x4000_0001, page=1):
+    return Label(serial=serial, version=1, page_number=page, length=0)
+
+
+class TestPositioningCosts:
+    def test_seek_charged_on_cylinder_change(self, drive):
+        drive.read_sector(0)
+        before = drive.clock.tally_us(SEEK)
+        drive.read_sector(drive.shape.sectors_per_cylinder() * 5)  # cylinder 5
+        assert drive.clock.tally_us(SEEK) > before
+
+    def test_no_seek_within_cylinder(self, drive):
+        drive.read_sector(0)
+        before = drive.clock.tally_us(SEEK)
+        drive.read_sector(1)
+        assert drive.clock.tally_us(SEEK) == before
+
+    def test_chained_sequential_reads_ride_the_rotation(self, drive):
+        """Reading a whole track of labels back-to-back costs one revolution
+        of rotation at most -- the scavenger sweep depends on this."""
+        drive.read_sector(0)  # position at track start
+        rotation_before = drive.clock.tally_us(ROTATION)
+        for sector in range(1, drive.shape.sectors_per_track):
+            drive.transfer(sector, label=PartCommand(Action.READ))
+        extra_rotation = drive.clock.tally_us(ROTATION) - rotation_before
+        assert extra_rotation == 0  # perfectly chained
+
+    def test_rereading_same_sector_costs_a_revolution(self, drive):
+        drive.read_sector(3)
+        watch = drive.clock.stopwatch()
+        drive.read_sector(3)
+        rotation_ms = watch.category_delta_us(ROTATION) / 1000
+        sector_ms = drive.shape.sector_time_ms()
+        assert rotation_ms == pytest.approx(drive.shape.rotation_ms - sector_ms, rel=0.01)
+
+    def test_transfer_charged_per_sector(self, drive):
+        watch = drive.clock.stopwatch()
+        drive.read_sector(0)
+        drive.read_sector(1)
+        assert watch.category_delta_us(TRANSFER) / 1000 == pytest.approx(
+            2 * drive.shape.sector_time_ms(), rel=1e-3
+        )
+
+
+class TestPaperCosts:
+    def test_allocate_costs_about_one_revolution(self, drive):
+        """Section 3.3: "This scheme costs a disk revolution each time a
+        page is allocated or freed."  The claim (check-free then write
+        label) must wait for the sector to come around again."""
+        drive.read_sector(7)  # park so the check pass chains with no wait
+        watch = drive.clock.stopwatch()
+        drive.check_label_then_rewrite(8, Label.free(), in_use_label(), value_words([]))
+        rotation_ms = watch.category_delta_us(ROTATION) / 1000
+        revolution = drive.shape.rotation_ms
+        # The label has passed under the head; the rewrite waits almost a
+        # full revolution (one sector short) for it to come around again.
+        assert 0.8 * revolution <= rotation_ms <= 1.0 * revolution
+
+    def test_ordinary_write_label_check_is_free(self, drive):
+        """"On any other write the label is checked, at no cost in time."""
+        label = in_use_label()
+        drive.check_label_then_rewrite(8, Label.free(), label, value_words([]))
+        drive.read_sector(7)  # park just before sector 8
+        watch = drive.clock.stopwatch()
+        drive.check_label_write_value(8, label, value_words([1]))
+        # One chained sector: no rotational wait at all.
+        assert watch.category_delta_us(ROTATION) == 0
+
+    def test_raw_transfer_rate_matches_the_paper(self):
+        """Section 2: the disk "can transfer 64k words in about one second"."""
+        drive = DiskDrive(DiskImage(diablo31()))
+        label = in_use_label()
+        # Consecutive pre-claimed sectors, then a timed sequential read.
+        labels = []
+        for address in range(256):
+            lbl = Label(serial=0x4000_0001, version=1, page_number=address + 1, length=0)
+            drive.check_label_then_rewrite(address, Label.free(), lbl, value_words([]))
+            labels.append(lbl)
+        watch = drive.clock.stopwatch()
+        for address in range(256):  # 256 sectors * 256 words = 64k words
+            drive.check_label_read_value(address, labels[address])
+        assert 0.7 < watch.elapsed_s < 1.3
+
+    def test_revolutions_waited_accounting(self, drive):
+        drive.read_sector(3)
+        drive.read_sector(3)
+        assert drive.timer.revolutions_waited() > 0.8

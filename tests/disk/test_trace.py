@@ -1,0 +1,116 @@
+"""Tests for the disk-activity trace."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, DiskTrace, Label, tiny_test_disk, value_words
+from repro.fs import FileSystem
+
+
+@pytest.fixture
+def traced():
+    drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=20)))
+    trace = DiskTrace().attach(drive)
+    return drive, trace
+
+
+def in_use(page=1):
+    return Label(serial=0x4000_0001, version=1, page_number=page, length=0)
+
+
+class TestRecording:
+    def test_records_commands(self, traced):
+        drive, trace = traced
+        drive.read_sector(0)
+        drive.read_label(5)
+        assert len(trace) == 2
+        assert trace.records[0].address == 0
+        assert trace.records[1].did("label", "read")
+        assert not trace.records[1].did("value", "read")
+
+    def test_records_part_actions(self, traced):
+        drive, trace = traced
+        drive.check_label_then_rewrite(4, Label.free(), in_use(), value_words([]))
+        by = trace.commands_by_part_action()
+        assert by[("label", "check")] == 1
+        assert by[("label", "write")] == 1
+        assert by[("value", "write")] == 1
+
+    def test_timing_is_unchanged_by_tracing(self):
+        plain = DiskDrive(DiskImage(tiny_test_disk(cylinders=20)))
+        traced_drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=20)))
+        DiskTrace().attach(traced_drive)
+        for drive in (plain, traced_drive):
+            for address in (0, 30, 7, 200):
+                drive.read_sector(address)
+        assert plain.clock.now_us == traced_drive.clock.now_us
+
+    def test_detach_and_clear(self, traced):
+        drive, trace = traced
+        drive.read_sector(0)
+        DiskTrace.detach(drive)
+        drive.read_sector(1)
+        assert len(trace) == 1
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestSummaries:
+    def test_arm_travel_and_seeks(self, traced):
+        drive, trace = traced
+        per_cyl = drive.shape.sectors_per_cylinder()
+        drive.read_sector(0)                # cylinder 0
+        drive.read_sector(5 * per_cyl)      # cylinder 5
+        drive.read_sector(2 * per_cyl)      # cylinder 2
+        assert trace.seek_count() == 2
+        assert trace.arm_travel() == 8
+
+    def test_sequentiality(self, traced):
+        drive, trace = traced
+        for address in range(10):
+            drive.read_sector(address)
+        assert trace.sequentiality() == 1.0
+        drive.read_sector(100)
+        assert trace.sequentiality() < 1.0
+
+    def test_hottest_addresses(self, traced):
+        drive, trace = traced
+        for _ in range(3):
+            drive.read_sector(7)
+        drive.read_sector(2)
+        assert trace.hottest_addresses(1) == [(7, 4 - 1)]
+
+    def test_summary_text(self, traced):
+        drive, trace = traced
+        drive.read_sector(0)
+        text = trace.summary()
+        assert "1 commands" in text and "sequentiality" in text
+
+
+class TestTraceOnRealWorkloads:
+    def test_scavenge_sweep_is_sequential(self):
+        """The trace confirms the sweep's physical-order access pattern."""
+        from repro.fs import Scavenger
+
+        image = DiskImage(tiny_test_disk(cylinders=20))
+        fs = FileSystem.format(DiskDrive(image))
+        fs.create_file("a.dat").write_data(b"z" * 2000)
+        fs.sync()
+        drive = DiskDrive(image)
+        trace = DiskTrace().attach(drive)
+        Scavenger(drive).scavenge()
+        sweep = trace.records[: image.shape.total_sectors()]
+        addresses = [r.address for r in sweep]
+        assert addresses == sorted(addresses)
+        assert trace.sequentiality() > 0.8
+
+    def test_scattered_vs_compacted_read_patterns(self):
+        from repro.fs import Compactor
+
+        image = DiskImage(tiny_test_disk(cylinders=30))
+        fs = FileSystem.format(DiskDrive(image))
+        fs.create_file("seq.dat").write_data(b"q" * 4000)
+        Compactor(fs.drive).compact()
+        fs2 = FileSystem.mount(DiskDrive(image))
+        trace = DiskTrace().attach(fs2.drive)
+        fs2.open_file("seq.dat").read_data()
+        assert trace.sequentiality() > 0.5  # consecutive pages, few jumps

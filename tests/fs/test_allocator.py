@@ -1,0 +1,132 @@
+"""Unit tests for the allocation map and claim protocol."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, Label, tiny_test_disk
+from repro.errors import DiskFull
+from repro.fs.allocator import PageAllocator
+from repro.fs.names import FileId, FullName, make_serial
+from repro.fs.page import PageIO
+
+
+@pytest.fixture
+def shape():
+    return tiny_test_disk(cylinders=4)  # 96 sectors
+
+
+@pytest.fixture
+def drive(shape):
+    return DiskDrive(DiskImage(shape))
+
+
+@pytest.fixture
+def pio(drive):
+    return PageIO(drive)
+
+
+@pytest.fixture
+def allocator(shape):
+    return PageAllocator(shape)
+
+
+def label(pn=0):
+    return FileId(make_serial(1)).label_for(pn, length=512)
+
+
+class TestMap:
+    def test_starts_all_free(self, allocator, shape):
+        assert allocator.count_free() == shape.total_sectors()
+
+    def test_mark_and_query(self, allocator):
+        allocator.mark_busy(5)
+        assert not allocator.is_free(5)
+        allocator.mark_free(5)
+        assert allocator.is_free(5)
+
+    def test_reserve(self, allocator):
+        allocator.reserve([0, 1])
+        assert not allocator.is_free(0) and not allocator.is_free(1)
+
+    def test_pack_unpack_round_trip(self, allocator, shape):
+        for address in (0, 3, 17, 95):
+            allocator.mark_busy(address)
+        clone = PageAllocator.unpack(shape, allocator.pack())
+        assert [clone.is_free(a) for a in range(shape.total_sectors())] == [
+            allocator.is_free(a) for a in range(shape.total_sectors())
+        ]
+
+    def test_unpack_validates_length(self, shape):
+        with pytest.raises(ValueError):
+            PageAllocator.unpack(shape, [0])
+
+    def test_from_labels(self, shape):
+        labels = [Label.free()] * shape.total_sectors()
+        labels[7] = label()
+        labels[9] = Label.bad()
+        allocator = PageAllocator.from_labels(shape, labels)
+        assert not allocator.is_free(7)
+        assert not allocator.is_free(9)
+        assert allocator.is_free(8)
+
+
+class TestCandidates:
+    def test_nearest_first(self, allocator):
+        allocator_order = list(allocator.candidates(near=50))
+        assert allocator_order[0] == 50
+        assert set(allocator_order[:3]) <= {49, 50, 51}
+
+    def test_skips_busy(self, allocator):
+        allocator.mark_busy(50)
+        assert 50 not in list(allocator.candidates(near=50))
+
+    def test_no_hint_scans_in_order(self, allocator):
+        assert list(allocator.candidates())[:3] == [0, 1, 2]
+
+
+class TestClaimProtocol:
+    def test_allocate_claims_on_disk(self, allocator, pio):
+        address = allocator.allocate(pio, label(), [9])
+        assert not allocator.is_free(address)
+        assert pio.drive.read_label(address) == label()
+
+    def test_lying_map_bit_costs_one_retry(self, allocator, pio):
+        """Section 3.3: a page improperly marked free results in a little
+        extra one-time disk activity -- and nothing worse."""
+        squatter = FileId(make_serial(7)).label_for(0, length=512)
+        pio.claim(10, squatter, [])
+        # The map still thinks 10 is free: make the allocator try it first.
+        assert allocator.is_free(10)
+        address = allocator.allocate(pio, label(), [], near=10)
+        assert address != 10
+        assert allocator.map_lies == 1
+        assert not allocator.is_free(10)  # the liar is now marked busy
+        # The squatter's data was never touched.
+        assert pio.drive.read_label(10) == squatter
+
+    def test_disk_full(self, shape, pio):
+        allocator = PageAllocator(shape, [False] * shape.total_sectors())
+        with pytest.raises(DiskFull):
+            allocator.allocate(pio, label(), [])
+
+    def test_all_map_bits_lying_still_raises_disk_full(self, shape, pio):
+        """Even a map that is completely wrong terminates: every candidate
+        fails its label check and is struck off."""
+        squatter = FileId(make_serial(7))
+        for address in range(shape.total_sectors()):
+            pio.claim(address, squatter.label_for(address, length=512), [])
+        allocator = PageAllocator(shape)  # all free: all lies
+        with pytest.raises(DiskFull):
+            allocator.allocate(pio, label(), [])
+        assert allocator.map_lies == shape.total_sectors()
+
+    def test_release(self, allocator, pio):
+        fid = FileId(make_serial(1))
+        address = allocator.allocate(pio, fid.label_for(0, length=512), [])
+        allocator.release(pio, FullName(fid, 0, address))
+        assert allocator.is_free(address)
+        assert pio.drive.read_label(address).is_free
+
+    def test_allocation_prefers_locality(self, allocator, pio):
+        first = allocator.allocate(pio, label(), [], near=40)
+        second = allocator.allocate(pio, FileId(make_serial(1)).label_for(1), [], near=first)
+        assert abs(second - first) <= 2

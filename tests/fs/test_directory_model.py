@@ -1,0 +1,93 @@
+"""Stateful property test: a directory against a dictionary model.
+
+Whatever interleaving of adds, removes, replaces, and hint updates a
+program performs, the directory must behave exactly like a (case-folded)
+dict -- including after a full write-out/reparse cycle on every operation,
+which is how the implementation works.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.errors import DirectoryError, FileNotFound
+from repro.fs import FileSystem
+from repro.fs.names import FileId, FullName, make_serial
+
+NAMES = [f"file-{i}.ext" for i in range(8)] + ["MiXeD.CaSe", "x"]
+
+
+class DirectoryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        image = DiskImage(tiny_test_disk(cylinders=30))
+        self.fs = FileSystem.format(DiskDrive(image))
+        self.directory = self.fs.create_directory("Model")
+        self.model = {}  # lowercased name -> (display name, FullName)
+        self.counter = 100
+
+    def _fresh_full_name(self):
+        self.counter += 1
+        return FullName(FileId(make_serial(self.counter)), 0, self.counter % 500)
+
+    @rule(name=st.sampled_from(NAMES))
+    def add(self, name):
+        full_name = self._fresh_full_name()
+        if name.lower() in self.model:
+            with pytest.raises(DirectoryError):
+                self.directory.add(name, full_name)
+        else:
+            self.directory.add(name, full_name)
+            self.model[name.lower()] = (name, full_name)
+
+    @rule(name=st.sampled_from(NAMES))
+    def add_replace(self, name):
+        full_name = self._fresh_full_name()
+        self.directory.add(name, full_name, replace=True)
+        # Replace keeps the NEW spelling.
+        self.model[name.lower()] = (name, full_name)
+
+    @rule(name=st.sampled_from(NAMES))
+    def remove(self, name):
+        if name.lower() in self.model:
+            entry = self.directory.remove(name)
+            expected = self.model.pop(name.lower())
+            assert entry.full_name == expected[1]
+        else:
+            with pytest.raises(FileNotFound):
+                self.directory.remove(name)
+
+    @rule(name=st.sampled_from(NAMES), address=st.integers(min_value=0, max_value=500))
+    def update_hint(self, name, address):
+        if name.lower() in self.model:
+            self.directory.update_hint(name, address)
+            display, full_name = self.model[name.lower()]
+            self.model[name.lower()] = (display, full_name.with_address(address))
+        else:
+            with pytest.raises(FileNotFound):
+                self.directory.update_hint(name, address)
+
+    @invariant()
+    def matches_model(self):
+        entries = {e.name.lower(): e for e in self.directory.entries()}
+        assert set(entries) == set(self.model)
+        for key, (display, full_name) in self.model.items():
+            assert entries[key].name == display
+            assert entries[key].full_name == full_name
+
+    @invariant()
+    def lookups_agree(self):
+        for name in NAMES:
+            found = self.directory.lookup(name)
+            if name.lower() in self.model:
+                assert found is not None
+            else:
+                assert found is None
+
+
+DirectoryMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestDirectoryModel = DirectoryMachine.TestCase

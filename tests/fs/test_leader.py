@@ -1,0 +1,86 @@
+"""Unit tests for the leader page layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.geometry import NIL
+from repro.errors import FileFormatError
+from repro.fs.leader import LeaderPage, MAX_NAME_LENGTH, check_name
+
+
+class TestPackUnpack:
+    def test_round_trip(self):
+        leader = LeaderPage(
+            name="memo.txt",
+            created=1000,
+            written=2000,
+            read=3000,
+            last_page_number=7,
+            last_page_address=42,
+            maybe_consecutive=True,
+        )
+        assert LeaderPage.unpack(leader.pack()) == leader
+
+    def test_packs_to_exactly_one_page(self):
+        assert len(LeaderPage(name="x").pack()) == 256
+
+    def test_dates_are_32_bit(self):
+        leader = LeaderPage(name="x", created=0xFFFF_FFFF)
+        assert LeaderPage.unpack(leader.pack()).created == 0xFFFF_FFFF
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(FileFormatError):
+            LeaderPage.unpack([0] * 10)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FileFormatError):
+            LeaderPage(name="")
+        with pytest.raises(FileFormatError):
+            LeaderPage.unpack([0] * 256)
+
+    def test_corrupt_name_rejected(self):
+        words = LeaderPage(name="ok").pack()
+        words[6] = 0xFF00  # length byte 255, but no bytes follow in field
+        with pytest.raises(FileFormatError):
+            LeaderPage.unpack(words)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                   min_size=1, max_size=MAX_NAME_LENGTH))
+    def test_any_printable_name_round_trips(self, name):
+        assert LeaderPage.unpack(LeaderPage(name=name).pack()).name == name
+
+
+class TestNames:
+    def test_length_limit(self):
+        check_name("x" * MAX_NAME_LENGTH)
+        with pytest.raises(FileFormatError):
+            check_name("x" * (MAX_NAME_LENGTH + 1))
+
+    def test_ascii_only(self):
+        with pytest.raises(FileFormatError):
+            check_name("café")
+
+
+class TestFunctionalUpdates:
+    def test_touched(self):
+        leader = LeaderPage(name="x", written=1, read=2)
+        assert leader.touched(written=10).written == 10
+        assert leader.touched(read=20).read == 20
+        assert leader.touched().written == 1  # no-op copy
+
+    def test_with_last_page(self):
+        leader = LeaderPage(name="x").with_last_page(5, 99)
+        assert (leader.last_page_number, leader.last_page_address) == (5, 99)
+
+    def test_with_consecutive(self):
+        assert LeaderPage(name="x").with_consecutive(True).maybe_consecutive
+
+    def test_renamed(self):
+        assert LeaderPage(name="x").renamed("y").name == "y"
+        with pytest.raises(FileFormatError):
+            LeaderPage(name="x").renamed("")
+
+    def test_updates_do_not_mutate(self):
+        leader = LeaderPage(name="x")
+        leader.with_last_page(1, 2)
+        assert leader.last_page_address == NIL

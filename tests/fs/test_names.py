@@ -1,0 +1,132 @@
+"""Unit tests for absolute names, file ids, full names."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.geometry import NIL
+from repro.disk.sector import Label
+from repro.errors import FileFormatError
+from repro.fs.names import (
+    FIRST_VERSION,
+    FileId,
+    FullName,
+    MAX_PAGE_NUMBER,
+    ORDINARY_SERIAL_FLAG,
+    make_serial,
+    next_usable_counter,
+    page_number_from_label,
+    serial_counter,
+)
+
+
+class TestSerials:
+    def test_ordinary_serial_has_marker(self):
+        serial = make_serial(1)
+        assert serial & ORDINARY_SERIAL_FLAG
+        assert serial_counter(serial) == 1
+
+    def test_directory_serial(self):
+        assert FileId(make_serial(1, directory=True)).is_directory
+        assert not FileId(make_serial(1)).is_directory
+
+    def test_counter_with_zero_low_word_rejected(self):
+        with pytest.raises(ValueError):
+            make_serial(0x10000)
+
+    def test_next_usable_skips_zero_low_word(self):
+        assert next_usable_counter(0xFFFF) == 0x10001
+        assert next_usable_counter(1) == 2
+
+    def test_counter_range(self):
+        with pytest.raises(ValueError):
+            make_serial(0)
+        with pytest.raises(ValueError):
+            make_serial(0x4000_0000)
+
+    def test_no_serial_word_is_ever_zero(self):
+        """Zero words would be check wildcards (section 3.3); identity
+        words must never be wildcards."""
+        counter = 1
+        for _ in range(200):
+            serial = make_serial(counter)
+            assert serial >> 16 != 0 and serial & 0xFFFF != 0
+            counter = next_usable_counter(counter)
+
+
+class TestFileId:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FileId(serial=5)  # missing marker
+        with pytest.raises(ValueError):
+            FileId(make_serial(1), version=0)
+
+    def test_label_for_round_trips_page_number(self):
+        fid = FileId(make_serial(3))
+        label = fid.label_for(0, length=512)
+        assert page_number_from_label(label) == 0
+        assert label.page_number == 1  # biased on disk
+
+    def test_check_label_wildcards_only_hints(self):
+        fid = FileId(make_serial(3))
+        pattern = fid.check_label(7)
+        packed = pattern.pack()
+        # serial(2) + version + page number words are all nonzero...
+        assert all(w != 0 for w in packed[:4])
+        # ...and L, NL, PL are wildcards.
+        assert packed[4:] == [0, 0, 0]
+
+    def test_owns(self):
+        fid = FileId(make_serial(3))
+        assert fid.owns(fid.label_for(2))
+        assert not fid.owns(FileId(make_serial(4)).label_for(2))
+        assert not fid.owns(Label.free())
+
+    def test_from_label(self):
+        fid = FileId(make_serial(9), version=2)
+        assert FileId.from_label(fid.label_for(1)) == fid
+        with pytest.raises(FileFormatError):
+            FileId.from_label(Label.free())
+
+    def test_page_number_bounds(self):
+        fid = FileId(make_serial(1))
+        with pytest.raises(ValueError):
+            fid.label_for(-1)
+        with pytest.raises(ValueError):
+            fid.label_for(MAX_PAGE_NUMBER + 1)
+
+    def test_bad_label_page_number(self):
+        label = Label(serial=make_serial(1), version=1, page_number=0, length=0)
+        with pytest.raises(FileFormatError):
+            page_number_from_label(label)
+
+
+class TestFullName:
+    def test_defaults(self):
+        name = FullName(FileId(make_serial(1)))
+        assert name.is_leader
+        assert not name.has_address_hint
+
+    def test_sibling_and_with_address(self):
+        name = FullName(FileId(make_serial(1)), 0, 5)
+        sib = name.sibling(3, 8)
+        assert sib.page_number == 3 and sib.address == 8 and sib.fid == name.fid
+        assert name.with_address(9).address == 9
+
+    def test_check_label_matches_label_for(self):
+        fid = FileId(make_serial(1))
+        name = FullName(fid, 4, 10)
+        assert name.check_label().page_number == fid.label_for(4).page_number
+
+    def test_str(self):
+        name = FullName(FileId(make_serial(1)), 2, 7)
+        assert "@7" in str(name)
+        assert "@?" in str(FullName(FileId(make_serial(1)), 2))
+
+    @given(st.integers(min_value=1, max_value=1000), st.integers(min_value=0, max_value=100))
+    def test_label_round_trip_property(self, counter, page):
+        if counter & 0xFFFF == 0:
+            counter += 1
+        fid = FileId(make_serial(counter))
+        label = fid.label_for(page, length=17)
+        assert fid.owns(label)
+        assert page_number_from_label(label) == page

@@ -1,0 +1,39 @@
+"""Scavenger memory-budget tests (section 3.5).
+
+"If there is enough main storage to hold a table with 48 bits per sector,
+a suitable choice of data structure allows this processing to be done
+without any auxiliary storage.  This is in fact the case for the machine's
+standard disks.  Larger disks require this list to be written on a
+specially reserved section of the disk."
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, DiskShape, diablo31, diablo44
+from repro.fs import FileSystem, Scavenger
+from repro.memory.core import MEMORY_WORDS
+
+
+class TestTableBudget:
+    def test_standard_disks_fit(self):
+        for shape in (diablo31(), diablo44()):
+            assert 3 * shape.total_sectors() <= MEMORY_WORDS
+
+    def test_report_flags_the_standard_disk_as_fitting(self, populated_fs, image):
+        report = Scavenger(DiskDrive(image)).scavenge()
+        assert report.table_fits_in_memory
+        assert report.table_bits_per_sector == 48
+
+    def test_oversize_disk_is_flagged(self):
+        """A disk past the 64k-word table budget: the scavenge still works
+        (our host has memory to spare) but the report records that the real
+        machine would have needed the on-disk table."""
+        huge = DiskShape(name="huge", cylinders=1000, heads=2, sectors_per_track=12)
+        assert 3 * huge.total_sectors() > MEMORY_WORDS
+        image = DiskImage(huge)
+        fs = FileSystem.format(DiskDrive(image))
+        fs.create_file("x.dat").write_data(b"x" * 1000)
+        fs.sync()
+        report = Scavenger(DiskDrive(image)).scavenge()
+        assert not report.table_fits_in_memory
+        assert report.files_found >= 3

@@ -1,0 +1,80 @@
+"""Tests for PageIO.update_label: the one-revolution change-length op."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.disk.geometry import NIL
+from repro.disk.timing import ROTATION
+from repro.errors import HintFailed
+from repro.fs.names import FileId, FullName, make_serial
+from repro.fs.page import PageIO
+
+
+@pytest.fixture
+def pio():
+    return PageIO(DiskDrive(DiskImage(tiny_test_disk())))
+
+
+@pytest.fixture
+def fid():
+    return FileId(make_serial(1))
+
+
+def claim_page(pio, fid, address=6, pn=1, length=100):
+    pio.claim(address, fid.label_for(pn, length=length), [7, 8, 9])
+    return FullName(fid, pn, address)
+
+
+class TestUpdateLabel:
+    def test_transform_sees_the_current_label(self, pio, fid):
+        name = claim_page(pio, fid, length=100)
+        seen = {}
+
+        def transform(label):
+            seen["length"] = label.length
+            return fid.label_for(1, length=200, next_link=label.next_link,
+                                 prev_link=label.prev_link)
+
+        new = pio.update_label(name, transform)
+        assert seen["length"] == 100
+        assert new.length == 200
+        assert pio.read_label(name).length == 200
+
+    def test_value_preserved(self, pio, fid):
+        name = claim_page(pio, fid)
+        pio.update_label(name, lambda label: fid.label_for(1, length=300))
+        assert pio.read(name).value[:3] == [7, 8, 9]
+
+    def test_costs_one_revolution_not_two(self, pio, fid):
+        """The merged read-check+rewrite must beat the naive
+        read_label + rewrite_label sequence by about a revolution."""
+        drive = pio.drive
+        rotation_us = drive.shape.rotation_ms * 1000
+
+        name = claim_page(pio, fid, address=6)
+        drive.read_sector(5)  # park just before
+        watch = drive.clock.stopwatch()
+        pio.update_label(name, lambda label: fid.label_for(1, length=1))
+        merged_revs = watch.category_delta_us(ROTATION) / rotation_us
+
+        name2 = claim_page(pio, fid, address=30, pn=2)
+        drive.read_sector(29)
+        watch = drive.clock.stopwatch()
+        pio.read_label(name2)
+        pio.rewrite_label(name2, fid.label_for(2, length=1))
+        naive_revs = watch.category_delta_us(ROTATION) / rotation_us
+
+        assert merged_revs < naive_revs - 0.5
+        assert merged_revs < 1.1
+
+    def test_stale_hint_fails_before_transform(self, pio, fid):
+        name = claim_page(pio, fid)
+        stale = name.with_address(40)
+        called = []
+        with pytest.raises(HintFailed):
+            pio.update_label(stale, lambda label: called.append(label) or label)
+        assert called == []
+
+    def test_requires_hint(self, pio, fid):
+        with pytest.raises(HintFailed):
+            pio.update_label(FullName(fid, 1), lambda label: label)

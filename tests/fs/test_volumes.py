@@ -1,0 +1,139 @@
+"""Tests for dual-drive operation and cross-pack utilities."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, diablo44, tiny_test_disk
+from repro.errors import DirectoryError
+from repro.fs import FileSystem
+from repro.fs.volumes import DrivePair, copy_all_files, copy_file, duplicate_pack
+
+
+@pytest.fixture
+def pair():
+    images = DiskImage(tiny_test_disk(cylinders=20)), DiskImage(tiny_test_disk(cylinders=20))
+    drive_pair = DrivePair(*images)
+    fs0, fs1 = drive_pair.format_both()
+    return images, drive_pair, fs0, fs1
+
+
+class TestDrivePair:
+    def test_two_packs_one_clock(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        before = drive_pair.clock.now_s
+        fs0.create_file("on0.dat").write_data(b"zero")
+        mid = drive_pair.clock.now_s
+        fs1.create_file("on1.dat").write_data(b"one")
+        assert before < mid < drive_pair.clock.now_s
+
+    def test_packs_are_independent(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("only-here.dat")
+        assert "only-here.dat" not in fs1.list_files()
+
+    def test_remount_both(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("a").write_data(b"a")
+        fs1.create_file("b").write_data(b"b")
+        fs0.sync()
+        fs1.sync()
+        again = DrivePair(*images)
+        m0, m1 = again.mount_both()
+        assert m0.open_file("a").read_data() == b"a"
+        assert m1.open_file("b").read_data() == b"b"
+
+    def test_mixed_shapes(self):
+        """A standard pack and a big non-standard disk side by side, both
+        through the standard software (section 5.2's file-server setup)."""
+        small = DiskImage(tiny_test_disk(cylinders=20))
+        big = DiskImage(diablo44())
+        drive_pair = DrivePair(small, big)
+        fs_small, fs_big = drive_pair.format_both()
+        fs_big.create_file("huge.dat").write_data(b"x" * 5000)
+        assert fs_big.open_file("huge.dat").byte_length == 5000
+        assert fs_small.free_pages() < small.shape.total_sectors()
+
+
+class TestCopyFile:
+    def test_copies_bytes(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("doc.txt").write_data(b"portable data" * 100)
+        copied = copy_file(fs0, fs1, "doc.txt")
+        assert copied == 1300
+        assert fs1.open_file("doc.txt").read_data() == b"portable data" * 100
+
+    def test_copies_are_independent(self, pair):
+        """File identity is pack-relative (the sector header carries the
+        pack id): the copy is a different file that evolves separately."""
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("doc.txt").write_data(b"d")
+        copy_file(fs0, fs1, "doc.txt")
+        fs1.open_file("doc.txt").write_data(b"changed on pack 1")
+        assert fs0.open_file("doc.txt").read_data() == b"d"
+
+    def test_rename_during_copy(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("old.txt").write_data(b"d")
+        copy_file(fs0, fs1, "old.txt", new_name="new.txt")
+        assert "new.txt" in fs1.list_files()
+
+    def test_collision_needs_replace(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("doc.txt").write_data(b"new")
+        fs1.create_file("doc.txt").write_data(b"old")
+        with pytest.raises(DirectoryError):
+            copy_file(fs0, fs1, "doc.txt")
+        copy_file(fs0, fs1, "doc.txt", replace=True)
+        assert fs1.open_file("doc.txt").read_data() == b"new"
+
+    def test_copy_all(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        for i in range(4):
+            fs0.create_file(f"f{i}").write_data(bytes([i]) * (i * 100))
+        copied = copy_all_files(fs0, fs1)
+        assert set(copied) == {"f0", "f1", "f2", "f3"}
+        for i in range(4):
+            assert fs1.open_file(f"f{i}").read_data() == bytes([i]) * (i * 100)
+
+
+class TestDuplicatePack:
+    def test_sector_exact_copy(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        fs0.create_file("keep.dat").write_data(b"original pack data")
+        fs0.sync()
+        duplicate_pack(images[0], images[1])
+        clone_fs = FileSystem.mount(DiskDrive(images[1]))
+        assert clone_fs.open_file("keep.dat").read_data() == b"original pack data"
+        # Hints stayed valid: same addresses on the clone.
+        assert (
+            clone_fs.open_file("keep.dat").leader_address()
+            == fs0.open_file("keep.dat").leader_address()
+        )
+
+    def test_pack_ids_differ(self, pair):
+        images, drive_pair, fs0, fs1 = pair
+        duplicate_pack(images[0], images[1])
+        assert images[1].pack_id != images[0].pack_id
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            duplicate_pack(DiskImage(tiny_test_disk(cylinders=8)),
+                           DiskImage(tiny_test_disk(cylinders=9)))
+
+
+class TestDebugKey:
+    def test_debug_key_writes_swatee(self):
+        from repro.os import AltoOS
+        from repro.streams import DEBUG_KEY
+
+        os = AltoOS.format(DiskDrive(DiskImage(tiny_test_disk(cylinders=60))))
+        os.install_debug_key()
+        os.machine.memory[0x300] = 1234
+        os.type_ahead(DEBUG_KEY)
+        assert "Swatee" in os.fs.list_files()
+        # The saved world carries the memory (registers are lost -- it is
+        # the emergency OutLoad of section 4.1).
+        from repro.world.statefile import unpack_state
+
+        memory, registers, program, phase, _ = unpack_state(os.fs.open_file("Swatee").read_data())
+        assert memory[0x300] == 1234
+        assert phase == "emergency"

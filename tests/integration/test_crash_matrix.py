@@ -1,0 +1,147 @@
+"""Property-based crash/corruption campaign.
+
+The paper's headline (section 6): "The measures taken to make the file
+system robust, in which the label checking is crucial, have worked
+extremely well. ... The incidence of complaints about lost information is
+negligible."
+
+Hypothesis drives random corruption campaigns; the invariant is always the
+same: after one scavenge, the file system mounts, is internally consistent,
+and every file whose pages were untouched by the corruption is
+byte-identical.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.disk import DiskDrive, DiskImage, FaultInjector, tiny_test_disk
+from repro.fs import FileSystem, Scavenger
+
+FAULT_KINDS = ("links", "label", "swap", "decay", "value")
+
+
+def build_populated_image(seed: int):
+    image = DiskImage(tiny_test_disk(cylinders=30))
+    fs = FileSystem.format(DiskDrive(image))
+    rng = random.Random(seed)
+    payloads = {}
+    serial_to_name = {}
+    for i in range(10):
+        name = f"f{i:02}.dat"
+        data = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 2200)))
+        file = fs.create_file(name)
+        file.write_data(data)
+        payloads[name] = data
+        serial_to_name[file.fid.serial] = name
+    fs.sync()
+    return image, payloads, serial_to_name
+
+
+def apply_fault(injector, image, rng, kind, damaged, serial_to_name):
+    in_use = [s.header.address for s in image.sectors() if s.label.in_use]
+    if kind == "links":
+        address = rng.choice(in_use)
+        injector.scramble_links(address)
+        # Link corruption never loses data.
+    elif kind == "label":
+        address = rng.choice(in_use)
+        # Attribute the damage by the owner at fault time (swaps may have
+        # moved pages since creation).
+        damaged.add(serial_to_name.get(image.sector(address).label.serial))
+        injector.scramble_label(address)
+    elif kind == "swap":
+        a, b = rng.sample(in_use, 2)
+        injector.swap_sectors(a, b)
+    elif kind == "decay":
+        free = [s.header.address for s in image.sectors() if s.label.is_free]
+        if free:
+            injector.decay_sector(rng.choice(free))
+    elif kind == "value":
+        # Corrupt a free sector's stale value: must be invisible.
+        free = [s.header.address for s in image.sectors() if s.label.is_free]
+        if free:
+            injector.scramble_value(rng.choice(free))
+
+
+class TestCrashMatrix:
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        faults=st.lists(st.sampled_from(FAULT_KINDS), min_size=1, max_size=6),
+    )
+    def test_scavenge_always_restores_consistency(self, seed, faults):
+        image, payloads, serial_to_name = build_populated_image(seed)
+        rng = random.Random(seed + 1)
+        injector = FaultInjector(image, seed=seed + 2)
+        damaged_files = set()
+        for kind in faults:
+            apply_fault(injector, image, rng, kind, damaged_files, serial_to_name)
+
+        report = Scavenger(DiskDrive(image)).scavenge()
+        fs = FileSystem.mount(DiskDrive(image))
+
+        for name, data in payloads.items():
+            if name in damaged_files:
+                continue  # that file legitimately lost a page
+            # The file must be reachable (root or rescued) and identical.
+            found = None
+            for candidate in fs.list_files():
+                if candidate == name or candidate.startswith(name + "!"):
+                    found = candidate
+                    break
+            assert found is not None, f"{name} unreachable after scavenge"
+            assert fs.open_file(found).read_data() == data
+
+        # The recovered image passes the full read-only consistency check.
+        # One detected-but-unrepairable residue is allowed: a file truncated
+        # at a corruption gap keeps L=512 on its new last page ("ragged
+        # end"), because L is absolute and the scavenger will not invent
+        # data lengths -- the paper leaves inconsistency *handling* out of
+        # scope (section 3.5).
+        from repro.fs.fsck import check_image
+
+        fsck = check_image(image)
+        residue = [i for i in fsck.issues if i.kind != "ragged-end"]
+        assert not residue, [str(i) for i in residue]
+        # ...and a second scavenge is a no-op: the first one converged.
+        second = Scavenger(DiskDrive(image)).scavenge()
+        assert second.links_repaired == 0
+        assert second.garbage_labels_freed == 0
+        assert second.entries_nulled == 0
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           after_writes=st.integers(min_value=1, max_value=12))
+    def test_torn_write_never_corrupts_other_files(self, seed, after_writes):
+        """A power failure at ANY write boundary leaves every other file
+        intact and the disk scavengeable."""
+        from repro.errors import TornWriteError
+
+        image, payloads, _serial_to_name = build_populated_image(seed)
+        drive = DiskDrive(image)
+        injector = FaultInjector(image, seed=seed)
+        drive.fault_injector = injector
+        fs = FileSystem.mount(drive)
+
+        injector.schedule_power_failure(after_writes=after_writes)
+        victim = "f03.dat"
+        try:
+            fs.open_file(victim).write_data(b"REWRITE" * 400)
+            injector.cancel_power_failure()
+        except TornWriteError:
+            pass
+
+        Scavenger(DiskDrive(image)).scavenge()
+        fs2 = FileSystem.mount(DiskDrive(image))
+        for name, data in payloads.items():
+            if name == victim:
+                continue
+            found = None
+            for candidate in fs2.list_files():
+                if candidate == name or candidate.startswith(name + "!"):
+                    found = candidate
+                    break
+            assert found is not None
+            assert fs2.open_file(found).read_data() == data

@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is a narrative script with its own assertions; here we import
+and execute each ``main()`` with stdout captured, so a regression anywhere
+in the library shows up as a broken example, not a stale one.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        module.main()
+    return out.getvalue()
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, f"expected at least three examples, found {EXAMPLES}"
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_quickstart_tells_the_whole_story():
+    output = run_example("quickstart")
+    assert "formatted Diablo-31" in output
+    assert "scavenge" in output
+    assert "after recovery" in output
+
+
+def test_crash_recovery_reports_no_loss():
+    output = run_example("crash_recovery")
+    assert "byte-identical" in output
+    assert "data intact" in output
+
+
+def test_printing_server_prints_everything():
+    output = run_example("printing_server")
+    assert "osreview" in output and "figures" in output and "patch" in output
+
+
+def test_debugger_fixes_the_victim():
+    output = run_example("debugger")
+    assert "patched" in output
+    assert "5050 correct" in output

@@ -1,0 +1,102 @@
+"""Stateful property test: the file system against a dict-of-bytes model.
+
+Any interleaving of creates, writes, appends, truncates, deletes, renames,
+and syncs must (a) behave like a plain ``{name: bytes}`` dict, and (b)
+leave the on-disk image fully consistent per the read-only checker --
+after every single step.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.errors import DirectoryError, FileNotFound
+from repro.fs import FileSystem
+from repro.fs.fsck import check_image
+
+NAMES = [f"f{i}.dat" for i in range(6)]
+
+
+class FileSystemMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.image = DiskImage(tiny_test_disk(cylinders=30))
+        self.fs = FileSystem.format(DiskDrive(self.image))
+        self.model = {}
+
+    @rule(name=st.sampled_from(NAMES))
+    def create(self, name):
+        if name in self.model:
+            with pytest.raises(DirectoryError):
+                self.fs.create_file(name)
+        else:
+            self.fs.create_file(name)
+            self.model[name] = b""
+
+    @rule(name=st.sampled_from(NAMES), size=st.integers(min_value=0, max_value=1600),
+          seed=st.integers(min_value=0, max_value=255))
+    def write(self, name, size, seed):
+        data = bytes((seed + i) % 256 for i in range(size))
+        if name in self.model:
+            self.fs.open_file(name).write_data(data)
+            self.model[name] = data
+        else:
+            with pytest.raises(FileNotFound):
+                self.fs.open_file(name)
+
+    @rule(name=st.sampled_from(NAMES), tail=st.binary(min_size=1, max_size=300))
+    def append(self, name, tail):
+        if name not in self.model:
+            return
+        from repro.streams import open_write_stream
+
+        stream = open_write_stream(self.fs.open_file(name), append=True)
+        for b in tail:
+            stream.put(b)
+        stream.close()
+        self.model[name] += tail
+
+    @rule(name=st.sampled_from(NAMES))
+    def delete(self, name):
+        if name in self.model:
+            self.fs.delete_file(name)
+            del self.model[name]
+        else:
+            with pytest.raises(FileNotFound):
+                self.fs.delete_file(name)
+
+    @rule(source=st.sampled_from(NAMES), dest=st.sampled_from(NAMES))
+    def rename(self, source, dest):
+        if source not in self.model or source == dest:
+            return
+        if dest in self.model:
+            with pytest.raises(DirectoryError):
+                self.fs.rename_file(source, dest)
+        else:
+            self.fs.rename_file(source, dest)
+            self.model[dest] = self.model.pop(source)
+
+    @rule()
+    def sync(self):
+        self.fs.sync()
+
+    @invariant()
+    def contents_match_the_model(self):
+        listed = {n for n in self.fs.list_files() if n in NAMES}
+        assert listed == set(self.model)
+        for name, data in self.model.items():
+            assert self.fs.open_file(name).read_data() == data
+
+    @invariant()
+    def image_is_consistent(self):
+        self.fs.sync()  # freshen the (hint) map so fsck sees no stale bits
+        report = check_image(self.image)
+        assert report.clean, [str(i) for i in report.issues]
+
+
+FileSystemMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=12, deadline=None
+)
+TestFileSystemModel = FileSystemMachine.TestCase

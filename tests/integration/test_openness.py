@@ -1,0 +1,122 @@
+"""Openness tests (section 1): the on-disk representation is the interface.
+
+"programs written in radically different languages ... share the same file
+system" because "it is the representation of files on the disk ... that
+[is] standardized."  We prove it by accessing one pack through two
+independently constructed software stacks, and by rebuilding system
+facilities from the small components alone.
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, Label, tiny_test_disk
+from repro.disk.geometry import NIL
+from repro.fs import FileSystem, FullName
+from repro.fs.allocator import PageAllocator
+from repro.fs.file import AltoFile
+from repro.fs.names import FileId, page_number_from_label
+from repro.fs.page import PageIO
+from repro.streams import Stream, open_read_stream, read_string
+
+
+class TestForeignEnvironment:
+    def test_second_stack_reads_files_written_by_the_first(self, image):
+        """A 'Lisp system' with its own drive object and FS code mounts the
+        same pack and reads a file made by the 'BCPL system'."""
+        bcpl_fs = FileSystem.format(DiskDrive(image))
+        bcpl_fs.create_file("shared.txt").write_data(b"written by BCPL")
+        bcpl_fs.sync()
+
+        # A completely separate stack: new clock, new drive, new everything.
+        lisp_drive = DiskDrive(image)
+        lisp_fs = FileSystem.mount(lisp_drive)
+        assert lisp_fs.open_file("shared.txt").read_data() == b"written by BCPL"
+
+        lisp_fs.open_file("shared.txt").write_data(b"annotated by Lisp")
+        lisp_fs.sync()
+        assert bcpl_fs.open_file("shared.txt").read_data() == b"annotated by Lisp"
+
+    def test_raw_page_access_without_any_file_system(self, image):
+        """A program may reject the file package entirely and still follow
+        the on-disk structure by labels alone."""
+        fs = FileSystem.format(DiskDrive(image))
+        target = fs.create_file("target.dat")
+        target.write_data(bytes(range(200)))
+        leader_address = target.leader_address()
+
+        raw = DiskDrive(image)  # no FileSystem at all
+        label = raw.read_label(leader_address)
+        fid = FileId.from_label(label)
+        # Walk the chain by links, collecting data pages.
+        data = bytearray()
+        address = label.next_link
+        while address != NIL:
+            result = raw.read_sector(address)
+            page_label = result.label_object()
+            assert FileId.from_label(page_label) == fid
+            from repro.words import words_to_bytes
+
+            data += words_to_bytes(result.value, nbytes=page_label.length)
+            address = page_label.next_link
+        assert bytes(data) == bytes(range(200))
+
+    def test_user_written_directory_replacement(self, image):
+        """Section 3.5: "he is free to ... write his own" directory system.
+        A user keeps (name, full name) pairs in an ordinary file of their
+        own format; the system files are untouched."""
+        fs = FileSystem.format(DiskDrive(image))
+        a = fs.create_file("hidden-a")
+        a.write_data(b"AAA")
+        fs.root.remove("hidden-a")  # reject the system directory
+
+        # The user's own "directory": a pickle-free, homemade format.
+        from repro.world.statefile import full_name_to_words, full_name_from_words
+        from repro.words import words_to_bytes, bytes_to_words
+
+        my_dir = fs.create_file("MyDir.custom")
+        my_dir.write_data(words_to_bytes(full_name_to_words(a.full_name())))
+
+        # Later, a fresh mount resolves through the homemade directory.
+        fs2 = FileSystem.mount(DiskDrive(image))
+        words = bytes_to_words(fs2.open_file("MyDir.custom").read_data())
+        found = AltoFile.open(fs2.page_io, fs2.allocator, full_name_from_words(words))
+        assert found.read_data() == b"AAA"
+
+
+class TestComponentReuse:
+    def test_stream_protocol_over_a_user_device(self):
+        """Any object with the operation slots is a stream; the system
+        neither knows nor cares (section 2)."""
+        log = []
+        stream = Stream(put=lambda s, item: log.append(item), endof=lambda s: False)
+        from repro.streams import copy_stream, byte_read_stream
+
+        copy_stream(byte_read_stream(b"ok"), stream)
+        assert log == [111, 107]
+
+    def test_private_allocator_over_a_disk_region(self, image):
+        """A program builds its own page allocator restricted to half the
+        disk -- the system allocator is just one client of the labels."""
+        fs = FileSystem.format(DiskDrive(image))
+        total = image.shape.total_sectors()
+        # A map covering only the second half of the disk.
+        mine = PageAllocator(image.shape, [a >= total // 2 for a in range(total)])
+        pio = PageIO(fs.drive)
+        fid = fs.new_fid()
+        address = mine.allocate(pio, fid.label_for(0, length=512), [1, 2, 3])
+        assert address >= total // 2
+        # The system's map doesn't know, but its claims are label-checked,
+        # so nothing can collide.
+        fs.create_file("system-file").write_data(b"x" * 2000)
+        assert pio.read(FullName(fid, 0, address)).value[:3] == [1, 2, 3]
+
+
+class TestSharedDiskDifferentClocks:
+    def test_time_is_per_stack_but_data_is_shared(self, image):
+        fs1 = FileSystem.format(DiskDrive(image))
+        fs1.create_file("x").write_data(b"1")
+        fs1.sync()
+        drive2 = DiskDrive(image)
+        fs2 = FileSystem.mount(drive2)
+        assert drive2.clock.now_s < fs1.drive.clock.now_s
+        assert fs2.open_file("x").read_data() == b"1"

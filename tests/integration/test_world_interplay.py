@@ -1,0 +1,118 @@
+"""Cross-subsystem interplay: world swaps vs Junta, printing vs crashes.
+
+These are the scenarios where two of the paper's mechanisms touch: a world
+image carries the Junta level contents (they are just memory); a crashed
+print server resumes from its state files; type-ahead crosses a swap.
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.fs import FileSystem, Scavenger
+from repro.net import (
+    PacketNetwork,
+    PrinterDevice,
+    bootstrap_printer_state,
+    build_printing_server,
+    read_queue,
+    send_file,
+    write_queue,
+)
+from repro.os import AltoOS
+from repro.os.levels import fill_pattern
+from repro.world import Halt, Machine, ProgramRegistry, Transfer, WorldEngine, WorldProgram
+
+
+@pytest.fixture
+def big_drive():
+    return DiskDrive(DiskImage(tiny_test_disk(cylinders=80)))
+
+
+class TestJuntaMeetsWorldSwap:
+    def test_world_image_carries_the_junta_state(self, big_drive):
+        """A program that juntas to level 4, saves itself, and is later
+        restored comes back with the levels still gone -- they are memory,
+        and the memory came from the image."""
+        os = AltoOS.format(big_drive)
+
+        level8 = os.junta.regions[8]
+        os.call_junta(4)
+        level8.fill(0x1234)  # the program reuses the freed storage
+        os.engine.swapper.outload("took-over.world", "prog", "resume")
+
+        os.call_counter_junta()  # the live machine gets its system back
+        assert os.junta.level_intact(8)
+
+        os.engine.swapper.inload("took-over.world")
+        # The restored memory shows the junta'd world again.
+        assert level8.read(0) == 0x1234
+        assert not os.junta.level_intact(8)
+        # CounterJunta repairs it, as the paper's program-exit path does.
+        os.call_counter_junta()
+        assert os.junta.level_intact(8)
+
+    def test_type_ahead_crosses_a_world_swap(self, big_drive):
+        """Section 5.2: characters typed at one program are interpreted by
+        the next -- even when "the next" arrives by InLoad."""
+        os = AltoOS.format(big_drive)
+        os.type_ahead("ls\nquit\n")  # typed at program A, unconsumed
+        snapshot = os.keyboard_process.contents()
+        os.engine.swapper.outload("a.world", "a", "x")
+
+        os.keyboard_process.initialize()  # program B drained/cleared it
+        assert os.keyboard_process.contents() == ""
+
+        os.engine.swapper.inload("a.world")
+        assert os.keyboard_process.contents() == snapshot
+        out = os.run_executive()  # the Executive now interprets it
+        assert "SysDir" in out
+
+
+class TestPrintServerCrashResume:
+    def test_queued_jobs_survive_a_crash(self, big_drive):
+        """The queue is a disk file: a server that dies mid-operation
+        resumes from its state files after a scavenge and finishes the
+        work (the whole point of splitting spooler/printer over files)."""
+        fs = FileSystem.format(big_drive)
+        machine = Machine()
+        registry = ProgramRegistry()
+        network = PacketNetwork(clock=big_drive.clock)
+        network.attach("printserver")
+        network.attach("client")
+        printer = PrinterDevice(big_drive.clock, ms_per_line=1.0)
+        build_printing_server(registry, network, printer)
+        engine = WorldEngine(machine, fs, registry)
+        bootstrap_printer_state(engine)
+
+        # A job arrives and gets spooled; the server idles (saving state).
+        send_file(network, "client", "printserver", "memo", b"only line")
+        # Spool manually: run the spooler with an empty printer queue...
+        # Simplest crash model: spool the job into the queue files directly
+        # through the same helpers the spooler uses.
+        job = fs.create_file("Spool.job.1.memo")
+        job.write_data(b"only line")
+        write_queue(fs, ["Spool.job.1.memo"])
+        engine.swapper.outload("Spooler.state", "spooler", "resumed")
+
+        # CRASH: new machine, scavenged pack, fresh engine.
+        image = big_drive.image
+        Scavenger(DiskDrive(image, clock=big_drive.clock)).scavenge()
+        fs2 = FileSystem.mount(DiskDrive(image, clock=big_drive.clock))
+        engine2 = WorldEngine(Machine(), fs2, registry)
+        outcome, jobs = engine2.run_from_file("Spooler.state")
+        # The pending network packets were lost with the crash, but the
+        # disk-queued job printed.
+        assert ("memo", 1) in jobs
+        assert read_queue(fs2) == []
+
+
+class TestScavengeDuringOperation:
+    def test_open_files_survive_scavenge_via_reopen(self, big_drive):
+        """A program holding stale AltoFile handles across a scavenge
+        recovers by reopening through names -- the documented discipline."""
+        os = AltoOS.format(big_drive)
+        f = os.fs.create_file("held.txt")
+        f.write_data(b"held data")
+        report = os.scavenge()  # remounts; old handles point at old fs
+        again = os.fs.open_file("held.txt")
+        assert again.read_data() == b"held data"

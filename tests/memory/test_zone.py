@@ -1,0 +1,139 @@
+"""Unit and property tests for the zone allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ZoneCorrupt, ZoneExhausted
+from repro.memory import Memory, Zone, allocate_vector
+
+
+@pytest.fixture
+def zone():
+    memory = Memory(0x1000)
+    return Zone(memory.region(0x100, 0x800), "test")
+
+
+class TestAllocateFree:
+    def test_basic_allocate(self, zone):
+        a = zone.allocate(10)
+        b = zone.allocate(10)
+        assert a != b
+        zone.region.memory.write(a, 42)
+        assert zone.region.memory.read(a) == 42
+
+    def test_block_size(self, zone):
+        a = zone.allocate(10)
+        assert zone.block_size(a) >= 10
+
+    def test_free_returns_space(self, zone):
+        before = zone.free_words()
+        a = zone.allocate(100)
+        assert zone.free_words() < before
+        zone.free(a)
+        assert zone.free_words() == before
+
+    def test_exhaustion(self, zone):
+        with pytest.raises(ZoneExhausted):
+            zone.allocate(0x900)
+
+    def test_exhaustion_by_fragments(self, zone):
+        blocks = []
+        while True:
+            try:
+                blocks.append(zone.allocate(64))
+            except ZoneExhausted:
+                break
+        assert zone.largest_free() < 64
+        for block in blocks:
+            zone.free(block)
+        assert zone.largest_free() >= 0x7F0
+
+    def test_zero_allocation_rejected(self, zone):
+        with pytest.raises(ValueError):
+            zone.allocate(0)
+
+    def test_first_fit_reuses_hole(self, zone):
+        a = zone.allocate(50)
+        b = zone.allocate(50)
+        zone.free(a)
+        c = zone.allocate(40)  # fits in a's hole
+        assert c == a
+
+    def test_coalescing(self, zone):
+        a, b, c = zone.allocate(20), zone.allocate(20), zone.allocate(20)
+        zone.free(a)
+        zone.free(c)
+        zone.free(b)  # middle free must merge all three
+        zone.check()
+        blocks = list(zone.free_blocks())
+        assert len(blocks) == 1
+
+
+class TestCorruptionDetection:
+    def test_double_free(self, zone):
+        a = zone.allocate(10)
+        zone.free(a)
+        with pytest.raises(ZoneCorrupt):
+            zone.free(a)
+
+    def test_foreign_address(self, zone):
+        with pytest.raises(ZoneCorrupt):
+            zone.free(5)  # outside the region
+
+    def test_garbage_header(self, zone):
+        a = zone.allocate(10)
+        zone.region.memory.write(a - 1, 0)  # clobber the size header
+        with pytest.raises(ZoneCorrupt):
+            zone.free(a)
+
+    def test_check_detects_cycle(self, zone):
+        a = zone.allocate(10)
+        zone.free(a)
+        # Point the free block's link at itself.
+        zone.region.memory.write(a, a - 1)
+        with pytest.raises(ZoneCorrupt):
+            zone.check()
+
+
+class TestConstruction:
+    def test_too_small(self):
+        memory = Memory(64)
+        with pytest.raises(ValueError):
+            Zone(memory.region(0, 1))
+
+    def test_sentinel_collision(self):
+        memory = Memory(0x10000)
+        with pytest.raises(ValueError):
+            Zone(memory.region(0xFF00, 0x100))  # region.end == 0x10000 > sentinel
+
+    def test_allocate_vector(self, zone):
+        address = allocate_vector(zone, [7, 8, 9])
+        assert zone.region.memory.read_block(address, 3) == [7, 8, 9]
+
+
+class TestZoneProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["alloc", "free"]),
+                              st.integers(min_value=1, max_value=120)),
+                    max_size=60))
+    def test_invariants_under_random_workload(self, ops):
+        """Whatever the alloc/free pattern, the free list stays sound and
+        freeing everything returns every word."""
+        memory = Memory(0x1000)
+        zone = Zone(memory.region(0x100, 0x600), "prop")
+        total = zone.free_words()
+        live = []
+        for op, size in ops:
+            if op == "alloc":
+                try:
+                    live.append(zone.allocate(size))
+                except ZoneExhausted:
+                    pass
+            elif live:
+                zone.free(live.pop(size % len(live)))
+            zone.check()
+        for address in live:
+            zone.free(address)
+        zone.check()
+        assert zone.free_words() == total
+        assert len(list(zone.free_blocks())) == 1

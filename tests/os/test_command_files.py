@@ -1,0 +1,103 @@
+"""Tests for Executive command files (@file) and the copy/compact builtins."""
+
+import pytest
+
+from repro.os import AltoOS
+
+
+@pytest.fixture
+def os(drive):
+    return AltoOS.format(drive)
+
+
+def script_file(os, name, text):
+    os.fs.create_file(name).write_data(text.encode())
+
+
+class TestCommandFiles:
+    def test_runs_each_line(self, os):
+        script_file(os, "Setup.cm", "write a.txt alpha\nwrite b.txt beta\n")
+        out = os.run_executive("@Setup\nls\nquit\n")
+        assert "a.txt" in out and "b.txt" in out
+        assert ">write a.txt alpha" in out  # script echo marker
+
+    def test_bare_name_resolves_cm_extension(self, os):
+        script_file(os, "Job.cm", "free\n")
+        out = os.run_executive("@Job\nquit\n")
+        assert "free pages" in out
+
+    def test_literal_name_wins(self, os):
+        script_file(os, "Job", "write from-literal.txt x\n")
+        script_file(os, "Job.cm", "write from-cm.txt x\n")
+        out = os.run_executive("@Job\nls\nquit\n")
+        assert "from-literal.txt" in out
+        assert "from-cm.txt" not in out.replace("write from-cm", "")
+
+    def test_missing_file(self, os):
+        out = os.run_executive("@nothing\nquit\n")
+        assert "no command file" in out
+
+    def test_nested_scripts(self, os):
+        script_file(os, "Inner.cm", "write deep.txt nested\n")
+        script_file(os, "Outer.cm", "@Inner\ntype deep.txt\n")
+        out = os.run_executive("@Outer\nquit\n")
+        assert "nested" in out
+
+    def test_nesting_depth_limited(self, os):
+        script_file(os, "Loop.cm", "@Loop\n")
+        out = os.run_executive("@Loop\nquit\n")
+        assert "nested too deeply" in out
+
+    def test_quit_inside_script_stops_the_repl(self, os):
+        script_file(os, "Bye.cm", "write early.txt x\nquit\nwrite late.txt x\n")
+        out = os.run_executive("@Bye\nls\n")  # ls must never run
+        assert "early.txt" in out
+        assert "late.txt" not in out
+        assert "\nls\n" not in out
+
+
+class TestCopyCommand:
+    def test_copy(self, os):
+        out = os.run_executive("write src.txt hello copy\ncopy src.txt dst.txt\ntype dst.txt\nquit\n")
+        assert "10 bytes copied" in out
+        assert out.count("hello copy") >= 1
+
+    def test_copy_overwrites(self, os):
+        out = os.run_executive(
+            "write a.txt AAA\nwrite b.txt BBBBBB\ncopy a.txt b.txt\ntype b.txt\nquit\n"
+        )
+        assert "type b.txt\nAAA\n" in out  # b.txt now holds exactly AAA
+
+    def test_usage(self, os):
+        out = os.run_executive("copy onlyone\nquit\n")
+        assert "usage: copy" in out
+
+
+class TestCompactCommand:
+    def test_compact_from_the_executive(self, os):
+        out = os.run_executive(
+            "write f1.txt data one\nwrite f2.txt data two\ncompact\ntype f1.txt\nquit\n"
+        )
+        assert "compacted:" in out
+        assert "data one" in out  # files still readable afterwards
+
+
+class TestInfoAndDump:
+    def test_info(self, os):
+        out = os.run_executive("write x.txt twelve bytes.\ninfo x.txt\nquit\n")
+        assert "13 bytes in 2 pages" in out
+        assert "serial 0x" in out
+
+    def test_info_directory_flag(self, os):
+        os.fs.create_directory("Sub")
+        out = os.run_executive("info Sub\nquit\n")
+        assert "[directory]" in out
+
+    def test_dump(self, os):
+        out = os.run_executive("write x.txt AB\ndump x.txt\nquit\n")
+        assert "page 1 (L=2):" in out
+        assert "4142" in out  # 'AB' packed into the first word
+
+    def test_dump_usage(self, os):
+        out = os.run_executive("dump\nquit\n")
+        assert "usage: dump" in out

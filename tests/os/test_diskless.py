@@ -1,0 +1,97 @@
+"""Diskless-OS tests (section 5.2's alternate assembly)."""
+
+import pytest
+
+from repro.net import PacketNetwork
+from repro.os.diskless import DisklessOS
+
+
+@pytest.fixture
+def diskless():
+    return DisklessOS()
+
+
+@pytest.fixture
+def networked():
+    network = PacketNetwork()
+    network.attach("diskless")
+    network.attach("peer")
+    return DisklessOS(network=network), network
+
+
+class TestAssembly:
+    def test_no_disk_anywhere(self, diskless):
+        assert not hasattr(diskless, "fs")
+        assert not hasattr(diskless, "drive")
+
+    def test_keyboard_display_work(self, diskless):
+        out = diskless.run_monitor("echo hello diagnostics\nquit\n")
+        assert "hello diagnostics" in out
+
+    def test_zones_work(self, diskless):
+        zone = diskless.new_zone(500)
+        address = zone.allocate(100)
+        diskless.machine.memory[address] = 42
+
+    def test_unknown_diagnostic(self, diskless):
+        out = diskless.run_monitor("warpcore\nquit\n")
+        assert "unknown diagnostic" in out
+
+
+class TestDiagnostics:
+    def test_memtest(self, diskless):
+        out = diskless.run_monitor("memtest\nquit\n")
+        assert "8000 words checked, 0 bad" in out
+
+    def test_zonetest(self, diskless):
+        out = diskless.run_monitor("zonetest\nquit\n")
+        assert "free list sound" in out
+
+    def test_nettest_loopback(self, networked):
+        diskless, network = networked
+        out = diskless.run_monitor("nettest\nquit\n")
+        assert "64 words echoed, ok=True" in out
+
+    def test_nettest_without_network(self, diskless):
+        out = diskless.run_monitor("nettest\nquit\n")
+        assert "no network attached" in out
+
+
+class TestNetworkStreams:
+    def test_write_then_read(self, networked):
+        diskless, network = networked
+        out = diskless.network_write_stream("peer")
+        for word in (10, 20, 30):
+            out.put(word)
+        out.close()
+        # The peer reads with its own stream.
+        from repro.net.streams import network_read_stream
+
+        peer = network_read_stream(network, "peer")
+        assert [peer.get(), peer.get(), peer.get()] == [10, 20, 30]
+        assert peer.endof()
+        assert peer.call("source") == "diskless"
+
+    def test_packet_batching(self, networked):
+        diskless, network = networked
+        out = diskless.network_write_stream("peer")
+        out.state["packet_words"] = 4
+        for word in range(10):
+            out.put(word)
+        out.close()
+        assert network.pending("peer") == 3  # 4 + 4 + 2
+
+    def test_read_skips_non_data_packets(self, networked):
+        from repro.net import Packet, TYPE_CONTROL, TYPE_DATA
+
+        diskless, network = networked
+        network.send(Packet("peer", "diskless", TYPE_CONTROL, (1,)))
+        network.send(Packet("peer", "diskless", TYPE_DATA, (7,)))
+        stream = diskless.network_read_stream()
+        assert stream.get() == 7
+
+    def test_streams_need_a_network(self, diskless):
+        from repro.errors import CommandError
+
+        with pytest.raises(CommandError):
+            diskless.network_read_stream()

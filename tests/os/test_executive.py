@@ -1,0 +1,112 @@
+"""Executive tests (section 5.1) and the Com.cm protocol (section 4)."""
+
+import pytest
+
+from repro.os import AltoOS, COMMAND_FILE, CodeFile, Fixup, write_code_file
+from repro.streams import open_read_stream, read_string
+
+
+@pytest.fixture
+def os(drive):
+    return AltoOS.format(drive)
+
+
+def run(os, script):
+    return os.run_executive(script)
+
+
+class TestBuiltins:
+    def test_write_type_ls(self, os):
+        out = run(os, "write a.txt alpha beta\ntype a.txt\nls\nquit\n")
+        assert "alpha beta" in out
+        assert "a.txt" in out
+        assert "10 bytes" in out
+
+    def test_delete_and_rename(self, os):
+        out = run(os, "write a.txt data\nrename a.txt b.txt\nls\ndelete b.txt\nls\nquit\n")
+        assert "renamed" in out and "deleted" in out
+        lines = out.splitlines()
+        assert lines.count("b.txt") == 1  # listed once, then deleted
+        assert "a.txt" not in lines  # never listed after the rename
+
+    def test_free(self, os):
+        out = run(os, "free\nquit\n")
+        assert "free pages" in out
+
+    def test_ls_subdirectory(self, os):
+        os.fs.create_file("inner.txt", directory=os.fs.create_directory("Sub"))
+        out = run(os, "ls Sub\nquit\n")
+        assert "inner.txt" in out
+
+    def test_scavenge_command(self, os):
+        out = run(os, "scavenge\nquit\n")
+        assert "scavenged" in out
+
+    def test_unknown_command(self, os):
+        out = run(os, "frobnicate\nquit\n")
+        assert "?" in out and "frobnicate" in out
+
+    def test_usage_errors(self, os):
+        out = run(os, "type\nrename onlyone\nquit\n")
+        assert out.count("usage:") == 2
+
+    def test_programs_listing(self, os):
+        os.executables.register("Zed", lambda o, a: None)
+        out = run(os, "programs\nquit\n")
+        assert "Zed" in out
+
+
+class TestComCm:
+    def test_command_recorded_before_execution(self, os):
+        """Section 4: the command scanner writes the command string on a
+        file with a standard name for the invoked program to read."""
+        recorded = {}
+
+        def snoop(o, args):
+            stream = open_read_stream(o.fs.open_file(COMMAND_FILE), update_dates=False)
+            recorded["line"] = read_string(stream)
+            stream.close()
+            return None
+
+        os.executables.register("Snoop", snoop)
+        write_code_file(os.fs, "snoop.run", CodeFile(entry="Snoop", code=[0]))
+        run(os, "snoop with args\nquit\n")
+        assert recorded["line"] == "snoop with args\n"
+
+
+class TestProgramInvocation:
+    def test_run_by_bare_name(self, os):
+        os.executables.register("Banner", lambda o, args: f"<{' '.join(args)}>")
+        write_code_file(os.fs, "banner.run", CodeFile(entry="Banner", code=[0]))
+        out = run(os, "banner one two\nquit\n")
+        assert "<one two>" in out
+
+    def test_run_by_full_name(self, os):
+        os.executables.register("Banner", lambda o, args: "ran")
+        write_code_file(os.fs, "banner.run", CodeFile(entry="Banner", code=[0]))
+        out = run(os, "banner.run\nquit\n")
+        assert "ran" in out
+
+    def test_program_with_fixups_runs(self, os):
+        os.executables.register("Probe", lambda o, args: "probe-ok")
+        write_code_file(
+            os.fs, "probe.run",
+            CodeFile(entry="Probe", code=[0, 0], fixups=[Fixup(1, "directory")]),
+        )
+        out = run(os, "probe\nquit\n")
+        assert "probe-ok" in out
+
+    def test_echo_goes_to_display(self, os):
+        out = run(os, "quit\n")
+        assert out.startswith("quit")
+
+    def test_repl_stops_without_input(self, os):
+        assert run(os, "") == ""
+
+    def test_type_ahead_between_commands(self, os):
+        """Characters typed during one command are interpreted by the
+        next (the level-2 buffer's whole purpose)."""
+        os.type_ahead("write t.txt hi\n")
+        os.type_ahead("type t.txt\nquit\n")  # "typed ahead" before repl ran
+        out = os.run_executive()
+        assert "hi" in out.splitlines()

@@ -1,0 +1,122 @@
+"""Junta / CounterJunta tests (section 5.2)."""
+
+import pytest
+
+from repro.errors import JuntaError
+from repro.memory import Memory, Zone
+from repro.os.junta import JuntaController
+from repro.os.levels import LEVELS, spec_for
+
+
+@pytest.fixture
+def junta():
+    return JuntaController(Memory())
+
+
+class TestJunta:
+    def test_removes_higher_levels(self, junta):
+        junta.junta(7)
+        for spec in LEVELS:
+            assert junta.is_resident(spec.number) == (spec.number <= 7)
+        assert junta.retained_level() == 7
+
+    def test_freed_region_is_contiguous_below_the_kept_levels(self, junta):
+        freed = junta.junta(4)
+        assert freed.end == junta.regions[4].start
+        expected = sum(spec.size_words for spec in LEVELS if spec.number > 4)
+        assert len(freed) == expected
+
+    def test_freed_memory_is_usable(self, junta):
+        """The caller owns the space: build a zone in it and allocate."""
+        freed = junta.junta(6)
+        zone = Zone(freed, "mine")
+        address = zone.allocate(1000)
+        freed.memory.write(address, 0xFEED)
+
+    def test_keep_everything_frees_nothing(self, junta):
+        freed = junta.junta(13)
+        assert len(freed) == 0
+        assert junta.retained_level() == 13
+
+    def test_level_bounds(self, junta):
+        with pytest.raises(JuntaError):
+            junta.junta(0)
+        with pytest.raises(JuntaError):
+            junta.junta(14)
+
+    def test_free_words_available(self, junta):
+        expected = sum(s.size_words for s in LEVELS if s.number > 4)
+        assert junta.free_words_available(4) == expected
+        junta.junta(4)
+        assert junta.free_words_available(4) == 0
+
+    def test_resident_words_drop(self, junta):
+        full = junta.resident_words()
+        junta.junta(1)
+        assert junta.resident_words() == spec_for(1).size_words < full
+
+
+class TestServiceGating:
+    def test_services_fault_after_removal(self, junta):
+        junta.require_service("disk-stream")  # fine while resident
+        junta.junta(7)
+        with pytest.raises(JuntaError):
+            junta.require_service("disk-stream")
+        junta.require_service("zone-object")  # level 7 kept
+
+    def test_unknown_service(self, junta):
+        with pytest.raises(ValueError):
+            junta.require_service("quantum-disk")
+
+
+class TestCounterJunta:
+    def test_restores_all_levels(self, junta):
+        junta.junta(2)
+        junta.counter_junta()
+        assert junta.retained_level() == 13
+        for spec in LEVELS:
+            assert junta.level_intact(spec.number)
+
+    def test_reinitializers_run(self, junta):
+        ran = []
+        junta.set_initializer(13, lambda region: ran.append(len(region)))
+        junta.junta(5)
+        junta.counter_junta()
+        assert ran == [spec_for(13).size_words]
+
+    def test_initializers_not_run_for_retained_levels(self, junta):
+        ran = []
+        junta.set_initializer(2, lambda region: ran.append(2))
+        junta.junta(5)  # level 2 retained
+        junta.counter_junta()
+        assert ran == []
+
+    def test_counter_junta_needs_level_one(self, junta):
+        """An errant program clobbering level 1 (where the residency
+        bookkeeping lives) takes CounterJunta down with it -- the danger
+        section 4.1 describes."""
+        junta.regions[1].write(0, 0)  # stomp the mask word
+        with pytest.raises(JuntaError):
+            junta.counter_junta()
+
+    def test_residency_lives_in_memory(self, junta):
+        """The mask is a memory word: dump/load round-trips it, so world
+        swaps carry the junta state."""
+        junta.junta(5)
+        image = junta.memory.dump()
+        junta.counter_junta()
+        assert junta.retained_level() == 13
+        junta.memory.load(image)
+        assert junta.retained_level() == 5
+
+    def test_junta_clears_the_storage(self, junta):
+        freed = junta.junta(10)
+        assert all(freed.read(i) == 0 for i in range(0, len(freed), 97))
+        assert not junta.level_intact(12)
+
+    def test_counters(self, junta):
+        junta.junta(3)
+        junta.counter_junta()
+        junta.junta(12)
+        assert junta.juntas == 2
+        assert junta.counter_juntas == 1

@@ -1,0 +1,94 @@
+"""Keyboard-process tests: the buffer lives in simulated memory."""
+
+import pytest
+
+from repro.memory import Memory
+from repro.os.kbdproc import KeyboardProcess, buffered_keyboard_stream
+from repro.streams import KeyboardDevice
+
+
+@pytest.fixture
+def setup():
+    memory = Memory(0x1000)
+    device = KeyboardDevice()
+    process = KeyboardProcess(memory.region(0x100, 0x40), device)
+    return memory, device, process
+
+
+class TestRingBuffer:
+    def test_pump_and_read(self, setup):
+        memory, device, process = setup
+        device.type_text("abc")
+        assert process.pump() == 3
+        assert process.available() == 3
+        assert process.read_char() == "a"
+        assert process.peek_char() == "b"
+        assert process.contents() == "bc"
+
+    def test_empty_reads(self, setup):
+        memory, device, process = setup
+        assert process.read_char() is None
+        assert process.peek_char() is None
+
+    def test_wraparound(self, setup):
+        memory, device, process = setup
+        for round_ in range(5):
+            device.type_text("0123456789")
+            process.pump()
+            for i in range(10):
+                assert process.read_char() == str(i)
+
+    def test_overflow_drops(self, setup):
+        memory, device, process = setup
+        device.type_text("x" * 100)  # capacity is 62
+        process.pump()
+        assert process.available() == process.capacity - 1
+        assert process.dropped >= 1
+
+    def test_buffer_words_are_in_memory(self, setup):
+        """The point of the design: the type-ahead is part of the memory
+        image, so world swaps and Junta preserve it."""
+        memory, device, process = setup
+        device.type_text("Z")
+        process.pump()
+        stored = [memory[a] for a in range(0x100, 0x140)]
+        assert ord("Z") in stored
+
+    def test_survives_a_memory_dump_restore(self, setup):
+        memory, device, process = setup
+        device.type_text("kept")
+        process.pump()
+        image = memory.dump()
+        process.initialize()  # wiped
+        memory.load(image)  # world restored
+        assert process.contents() == "kept"
+
+    def test_region_too_small(self):
+        memory = Memory(0x100)
+        with pytest.raises(ValueError):
+            KeyboardProcess(memory.region(0, 3), KeyboardDevice())
+
+
+class TestBufferedStream:
+    def test_get_pumps_automatically(self, setup):
+        memory, device, process = setup
+        stream = buffered_keyboard_stream(process)
+        device.type_text("q")
+        assert not stream.endof()
+        assert stream.get() == "q"
+        assert stream.endof()
+
+    def test_get_empty_raises(self, setup):
+        from repro.errors import EndOfStream
+
+        memory, device, process = setup
+        stream = buffered_keyboard_stream(process)
+        with pytest.raises(EndOfStream):
+            stream.get()
+
+    def test_peek(self, setup):
+        memory, device, process = setup
+        stream = buffered_keyboard_stream(process)
+        device.type_text("ab")
+        process.pump()
+        assert stream.call("peek") == "a"

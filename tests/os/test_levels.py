@@ -1,0 +1,76 @@
+"""Tests for the level definitions and layout."""
+
+import pytest
+
+from repro.memory import Memory
+from repro.os.levels import (
+    LEVELS,
+    MAX_LEVEL,
+    MIN_LEVEL,
+    fill_pattern,
+    layout,
+    level_providing,
+    resident_words,
+    services_at_or_below,
+    spec_for,
+)
+
+
+class TestDefinitions:
+    def test_thirteen_levels(self):
+        """Section 5.2 enumerates levels 1 through 13."""
+        assert MIN_LEVEL == 1 and MAX_LEVEL == 13
+        assert [spec.number for spec in LEVELS] == list(range(1, 14))
+
+    def test_level_one_is_swapping(self):
+        spec = spec_for(1)
+        assert "outload" in spec.services and "counter-junta" in spec.services
+
+    def test_inload_outload_size_matches_the_paper(self):
+        """Section 4.1: "quite small (about 900 words)"."""
+        assert spec_for(1).size_words == 900
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            spec_for(0)
+        with pytest.raises(ValueError):
+            spec_for(14)
+
+    def test_every_service_has_a_unique_home(self):
+        seen = {}
+        for spec in LEVELS:
+            for service in spec.services:
+                assert service not in seen, f"{service} in two levels"
+                seen[service] = spec.number
+        assert level_providing("disk-stream").number == 8
+        with pytest.raises(ValueError):
+            level_providing("time-travel")
+
+    def test_services_accumulate(self):
+        assert services_at_or_below(1) == list(spec_for(1).services)
+        assert len(services_at_or_below(13)) == sum(len(s.services) for s in LEVELS)
+
+
+class TestLayout:
+    def test_packs_down_from_the_top(self):
+        """"the lowest level ... is at the very top of memory.  Less
+        ubiquitous services are in levels with higher numbers, located
+        lower in memory"."""
+        memory = Memory()
+        regions = layout(memory)
+        assert regions[1].end == memory.size
+        for number in range(1, 13):
+            assert regions[number + 1].end == regions[number].start
+
+    def test_sizes_respected(self):
+        regions = layout(Memory())
+        for spec in LEVELS:
+            assert len(regions[spec.number]) == spec.size_words
+
+    def test_resident_words_total(self):
+        assert resident_words() == sum(s.size_words for s in LEVELS)
+        assert resident_words() < Memory().size  # room left for programs
+
+    def test_fill_patterns_distinct(self):
+        patterns = {fill_pattern(s.number) for s in LEVELS}
+        assert len(patterns) == len(LEVELS)

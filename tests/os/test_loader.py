@@ -1,0 +1,116 @@
+"""Program loader tests (section 5.1)."""
+
+import pytest
+
+from repro.errors import FixupError, LoadError
+from repro.memory import Memory
+from repro.os import AltoOS, CodeFile, Fixup, LOAD_ADDRESS, write_code_file
+from repro.os.junta import JuntaController
+from repro.os.loader import ExecutableRegistry, ProgramLoader
+from repro.world.machine import Machine
+
+
+@pytest.fixture
+def os(drive):
+    return AltoOS.format(drive)
+
+
+class TestCodeFileFormat:
+    def test_round_trip(self):
+        code_file = CodeFile(
+            entry="MyProgram",
+            code=[1, 2, 3, 4, 5],
+            fixups=[Fixup(offset=1, service="disk-stream"), Fixup(offset=3, service="zone-object")],
+        )
+        again = CodeFile.unpack_words(code_file.pack_words())
+        assert again.entry == "MyProgram"
+        assert again.code == [1, 2, 3, 4, 5]
+        assert again.fixups == code_file.fixups
+
+    def test_no_entry_rejected(self):
+        with pytest.raises(LoadError):
+            CodeFile(entry="", code=[]).pack_words()
+
+    def test_bad_magic(self):
+        words = CodeFile(entry="P", code=[1]).pack_words()
+        words[0] = 0
+        with pytest.raises(LoadError):
+            CodeFile.unpack_words(words)
+
+    def test_truncated_code(self):
+        words = CodeFile(entry="P", code=[1, 2, 3]).pack_words()
+        with pytest.raises(LoadError):
+            CodeFile.unpack_words(words[:-2])
+
+    def test_fixup_offset_validated(self):
+        words = CodeFile(entry="P", code=[1], fixups=[Fixup(5, "loader")]).pack_words()
+        with pytest.raises(LoadError):
+            CodeFile.unpack_words(words)
+
+
+class TestBinding:
+    def test_fixups_bound_to_level_addresses(self, os):
+        """Binding is real: the fixed-up word holds the service's dispatch
+        address inside its level's region."""
+        code_file = CodeFile(entry="P", code=[0, 0, 0], fixups=[Fixup(1, "disk-stream")])
+        os.executables.register("P", lambda o, args: "ran")
+        loaded = os.loader.load_words(code_file.pack_words())
+        bound = loaded.bound_services["disk-stream"]
+        assert bound in os.junta.regions[8]
+        assert os.machine.memory[LOAD_ADDRESS + 1] == bound
+
+    def test_fixup_to_removed_level_fails(self, os):
+        code_file = CodeFile(entry="P", code=[0, 0], fixups=[Fixup(0, "display-stream")])
+        os.call_junta(9)
+        with pytest.raises(FixupError):
+            os.loader.load_words(code_file.pack_words())
+        os.call_counter_junta()
+        os.executables.register("P", lambda o, args: None)
+        os.loader.load_words(code_file.pack_words())  # now fine
+
+    def test_unknown_service_fails(self, os):
+        code_file = CodeFile(entry="P", code=[0], fixups=[Fixup(0, "warp-drive")])
+        with pytest.raises(FixupError):
+            os.loader.load_words(code_file.pack_words())
+
+    def test_overlay_replaces_previous_program(self, os):
+        """Section 5.1: a program may terminate "by calling the program
+        loader to read in another program and thus overlay the first"."""
+        os.executables.register("A", lambda o, args: "a")
+        os.executables.register("B", lambda o, args: "b")
+        os.loader.load_words(CodeFile(entry="A", code=[0xAAAA]).pack_words())
+        assert os.machine.memory[LOAD_ADDRESS] == 0xAAAA
+        os.loader.load_words(CodeFile(entry="B", code=[0xBBBB]).pack_words())
+        assert os.machine.memory[LOAD_ADDRESS] == 0xBBBB
+        assert os.loader.invoke(os) == "b"
+
+
+class TestLoadFromDisk:
+    def test_write_then_load_code_file(self, os):
+        os.executables.register("Hello", lambda o, args: f"hello {args[0]}")
+        code_file = CodeFile(entry="Hello", code=[9, 9], fixups=[Fixup(0, "loader")])
+        write_code_file(os.fs, "hello.run", code_file)
+        loaded = os.loader.load_file(os.fs.open_file("hello.run"))
+        assert loaded.entry == "Hello"
+        assert os.loader.invoke(os, ["world"]) == "hello world"
+
+    def test_invoke_without_load(self, os):
+        with pytest.raises(LoadError):
+            ProgramLoader(Machine(), JuntaController(Memory()), ExecutableRegistry()).invoke(os)
+
+    def test_unregistered_entry(self, os):
+        os.loader.load_words(CodeFile(entry="Ghost", code=[1]).pack_words())
+        with pytest.raises(LoadError):
+            os.loader.invoke(os)
+
+
+class TestExecutableRegistry:
+    def test_decorator_form(self):
+        registry = ExecutableRegistry()
+
+        @registry.register("Deco")
+        def run(os, args):
+            return "deco"
+
+        assert registry.lookup("Deco") is run
+        assert registry.names() == ["Deco"]

@@ -1,0 +1,49 @@
+"""Tests for entering the operating system by InLoad (section 5.1)."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.os import AltoOS, CodeFile, write_code_file
+from repro.words import string_to_words
+
+
+@pytest.fixture
+def os():
+    return AltoOS.format(DiskDrive(DiskImage(tiny_test_disk(cylinders=60))))
+
+
+class TestSystemWorld:
+    def test_state_file_created(self, os):
+        os.install_system_world()
+        assert "AltoOS.world" in os.fs.list_files()
+
+    def test_foreign_environment_invokes_a_program_by_message(self, os):
+        """"The message vector passed to InLoad may contain the name of a
+        file containing the program to be invoked"."""
+        os.executables.register("Greet", lambda o, args: "greetings from under the OS")
+        write_code_file(os.fs, "greet.run", CodeFile(entry="Greet", code=[0]))
+        os.install_system_world()
+
+        # The "Lisp system" hands control to the OS, asking for greet.run.
+        message = string_to_words("greet.run")
+        result = os.engine.run("alto-os", phase="boot", message=message)
+        assert result == "greetings from under the OS"
+
+    def test_empty_message_runs_the_executive(self, os):
+        os.install_system_world()
+        os.type_ahead("write from-typeahead.txt it worked\nquit\n")
+        os.engine.run("alto-os", phase="boot")
+        assert "from-typeahead.txt" in os.fs.list_files()
+
+    def test_entry_reinitializes_the_levels(self, os):
+        """Loading-and-initializing the system undoes a prior Junta."""
+        os.install_system_world()
+        os.call_junta(4)
+        os.type_ahead("quit\n")
+        os.engine.run("alto-os", phase="boot")
+        assert os.junta.retained_level() == 13
+
+    def test_install_is_idempotent(self, os):
+        os.install_system_world()
+        os.install_system_world()
+        assert os.programs.names().count("alto-os") == 1

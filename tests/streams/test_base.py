@@ -1,0 +1,84 @@
+"""Tests for the stream protocol: slots, replacement, non-standard ops."""
+
+import pytest
+
+from repro.errors import EndOfStream, OperationNotSupported
+from repro.streams import Stream, copy_stream, byte_read_stream, byte_write_stream
+
+
+class TestProtocol:
+    def test_unset_operations_raise(self):
+        stream = Stream()
+        with pytest.raises(OperationNotSupported):
+            stream.get()
+        with pytest.raises(OperationNotSupported):
+            stream.put(1)
+        with pytest.raises(OperationNotSupported):
+            stream.reset()
+
+    def test_slot_receives_the_stream_record(self):
+        """Section 2: "the procedure receives the record which represents
+        the stream as an argument, and can store any permanent state
+        information in that record"."""
+        def get(stream):
+            stream.state["calls"] = stream.state.get("calls", 0) + 1
+            return stream.state["calls"]
+
+        stream = Stream(get=get)
+        assert stream.get() == 1
+        assert stream.get() == 2
+        assert stream.state["calls"] == 2
+
+    def test_operations_replaceable_at_runtime(self):
+        """"the procedures ... can change from time to time, even for a
+        particular stream"."""
+        stream = Stream(get=lambda s: "old")
+        assert stream.get() == "old"
+        stream.set_operation("get", lambda s: "new")
+        assert stream.get() == "new"
+
+    def test_non_standard_operations(self):
+        stream = Stream()
+        stream.set_operation("set_buffer_size", lambda s, n: s.state.__setitem__("buf", n))
+        stream.call("set_buffer_size", 42)
+        assert stream.state["buf"] == 42
+        assert stream.supports("set_buffer_size")
+        with pytest.raises(OperationNotSupported):
+            stream.call("read_position")
+
+    def test_close_idempotent(self):
+        closes = []
+        stream = Stream(close=lambda s: closes.append(1))
+        stream.close()
+        stream.close()
+        assert closes == [1]
+
+    def test_close_without_slot_is_fine(self):
+        Stream().close()
+
+    def test_context_manager(self):
+        closes = []
+        with Stream(close=lambda s: closes.append(1)) as stream:
+            pass
+        assert closes == [1]
+
+    def test_iteration(self):
+        stream = byte_read_stream(b"abc")
+        assert list(stream) == [97, 98, 99]
+
+
+class TestCopyStream:
+    def test_copies_all(self):
+        src = byte_read_stream(b"hello")
+        dst = byte_write_stream()
+        assert copy_stream(src, dst) == 5
+        assert dst.call("bytes") == b"hello"
+
+    def test_copies_count(self):
+        src = byte_read_stream(b"hello")
+        dst = byte_write_stream()
+        assert copy_stream(src, dst, count=3) == 3
+        assert dst.call("bytes") == b"hel"
+
+    def test_empty_source(self):
+        assert copy_stream(byte_read_stream(b""), byte_write_stream()) == 0

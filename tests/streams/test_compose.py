@@ -1,0 +1,100 @@
+"""Tests for stream combinators."""
+
+import pytest
+
+from repro.errors import EndOfStream
+from repro.streams import (
+    byte_read_stream,
+    byte_write_stream,
+    concatenate_read_streams,
+    copy_stream,
+    counting_stream,
+    filter_read_stream,
+    map_read_stream,
+    map_write_stream,
+    tee_stream,
+    vector_read_stream,
+    vector_write_stream,
+)
+
+
+class TestTee:
+    def test_fans_out(self):
+        a, b = vector_write_stream(), vector_write_stream()
+        tee = tee_stream(a, b)
+        tee.put(1)
+        tee.put(2)
+        assert a.call("contents") == [1, 2]
+        assert b.call("contents") == [1, 2]
+
+    def test_reset_propagates(self):
+        a = vector_write_stream()
+        tee = tee_stream(a)
+        tee.put(1)
+        tee.reset()
+        assert a.call("contents") == []
+
+
+class TestMapStreams:
+    def test_map_read(self):
+        stream = map_read_stream(vector_read_stream([1, 2, 3]), lambda x: x * 10)
+        assert list(stream) == [10, 20, 30]
+
+    def test_map_write(self):
+        sink = vector_write_stream()
+        stream = map_write_stream(sink, str.upper)
+        stream.put("a")
+        assert sink.call("contents") == ["A"]
+
+
+class TestFilter:
+    def test_keeps_matching(self):
+        stream = filter_read_stream(vector_read_stream(range(10)), lambda x: x % 3 == 0)
+        assert list(stream) == [0, 3, 6, 9]
+
+    def test_endof_looks_ahead(self):
+        stream = filter_read_stream(vector_read_stream([1, 2, 4]), lambda x: x % 3 == 0)
+        assert stream.endof()
+        with pytest.raises(EndOfStream):
+            stream.get()
+
+    def test_reset(self):
+        stream = filter_read_stream(vector_read_stream([3, 5, 6]), lambda x: x % 3 == 0)
+        assert stream.get() == 3
+        stream.reset()
+        assert list(stream) == [3, 6]
+
+
+class TestCounting:
+    def test_counts_both_directions(self):
+        src = counting_stream(byte_read_stream(b"ab"))
+        dst = counting_stream(byte_write_stream())
+        copy_stream(src, dst)
+        assert src.call("counts") == (2, 0)
+        assert dst.call("counts") == (0, 2)
+
+    def test_only_wraps_supported_ops(self):
+        wrapped = counting_stream(byte_read_stream(b"a"))
+        assert not wrapped.supports("put")
+
+
+class TestConcatenate:
+    def test_in_order(self):
+        stream = concatenate_read_streams([
+            vector_read_stream([1, 2]),
+            vector_read_stream([]),
+            vector_read_stream([3]),
+        ])
+        assert list(stream) == [1, 2, 3]
+
+    def test_reset_all(self):
+        stream = concatenate_read_streams([vector_read_stream([1]), vector_read_stream([2])])
+        assert list(stream) == [1, 2]
+        stream.reset()
+        assert list(stream) == [1, 2]
+
+    def test_empty(self):
+        stream = concatenate_read_streams([])
+        assert stream.endof()
+        with pytest.raises(EndOfStream):
+            stream.get()

@@ -1,0 +1,126 @@
+"""Tests for keyboard and display devices and their streams."""
+
+import pytest
+
+from repro.errors import EndOfStream
+from repro.streams import (
+    DEBUG_KEY,
+    DisplayDevice,
+    KeyboardDevice,
+    copy_stream,
+    display_stream,
+    keyboard_stream,
+)
+
+
+class TestKeyboardDevice:
+    def test_type_ahead(self):
+        kbd = KeyboardDevice()
+        kbd.type_text("abc")
+        assert kbd.available() == 3
+        assert kbd.read_key() == "a"
+        assert kbd.peek() == "b"
+        assert kbd.available() == 2
+
+    def test_empty_read(self):
+        with pytest.raises(EndOfStream):
+            KeyboardDevice().read_key()
+        assert KeyboardDevice().peek() is None
+
+    def test_overflow_drops(self):
+        kbd = KeyboardDevice(capacity=3)
+        kbd.type_text("abcdef")
+        assert kbd.available() == 3
+        assert kbd.dropped == 3
+
+    def test_snapshot_restore(self):
+        kbd = KeyboardDevice()
+        kbd.type_text("hello")
+        snap = kbd.snapshot()
+        kbd.flush()
+        kbd.restore(snap)
+        assert kbd.read_key() == "h"
+
+    def test_debug_key_invokes_handler(self):
+        """Section 4: "the user strikes a special DEBUG key"."""
+        kbd = KeyboardDevice()
+        fired = []
+        kbd.debug_handler = lambda: fired.append(True)
+        kbd.type_text("a" + DEBUG_KEY + "b")
+        assert fired == [True]
+        assert kbd.available() == 2  # DEBUG key not buffered
+
+    def test_debug_key_buffered_without_handler(self):
+        kbd = KeyboardDevice()
+        kbd.key_down(DEBUG_KEY)
+        assert kbd.available() == 1
+
+
+class TestKeyboardStream:
+    def test_get_and_endof(self):
+        kbd = KeyboardDevice()
+        stream = keyboard_stream(kbd)
+        assert stream.endof()
+        kbd.type_text("xy")
+        assert not stream.endof()
+        assert stream.get() == "x"
+        assert stream.call("peek") == "y"
+        assert stream.call("available") == 1
+
+    def test_reset_flushes(self):
+        kbd = KeyboardDevice()
+        kbd.type_text("junk")
+        stream = keyboard_stream(kbd)
+        stream.reset()
+        assert stream.endof()
+
+
+class TestDisplayDevice:
+    def test_basic_write(self):
+        disp = DisplayDevice(columns=10, lines=3)
+        disp.write("hi\nthere")
+        assert disp.visible_lines() == ["hi", "there"]
+        assert disp.current_line() == "there"
+
+    def test_wrap_at_columns(self):
+        disp = DisplayDevice(columns=4, lines=5)
+        disp.write("abcdef")
+        assert disp.visible_lines() == ["abcd", "ef"]
+
+    def test_scrolling(self):
+        disp = DisplayDevice(columns=10, lines=2)
+        disp.write("1\n2\n3\n")
+        assert len(disp.visible_lines()) == 2
+        assert disp.scrolled == 2
+        assert "3" in disp.text()
+        assert "1" not in disp.text()
+
+    def test_control_characters(self):
+        disp = DisplayDevice(columns=10, lines=4)
+        disp.write("abc\rxy")  # carriage return rewrites the line
+        assert disp.current_line() == "xy"
+        disp.write("\bz")  # backspace
+        assert disp.current_line() == "xz"
+        disp.write("\f")  # form feed clears
+        assert disp.text() == ""
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DisplayDevice(columns=0)
+
+
+class TestDisplayStream:
+    def test_put_chars_and_codes(self):
+        disp = DisplayDevice()
+        stream = display_stream(disp)
+        stream.put("A")
+        stream.put(66)  # byte code
+        assert disp.text() == "AB"
+        assert stream.call("text") == "AB"
+
+    def test_keyboard_to_display_copy(self):
+        kbd = KeyboardDevice()
+        kbd.type_text("echo!\n")
+        disp = DisplayDevice()
+        copy_stream(keyboard_stream(kbd), display_stream(disp))
+        assert disp.text() == "echo!\n".replace("\n", "\n")

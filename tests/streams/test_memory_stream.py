@@ -1,0 +1,75 @@
+"""Tests for in-memory streams."""
+
+import pytest
+
+from repro.errors import EndOfStream
+from repro.streams import (
+    byte_read_stream,
+    byte_write_stream,
+    null_stream,
+    string_read_stream,
+    string_write_stream,
+    vector_read_stream,
+    vector_write_stream,
+)
+
+
+class TestVectorStreams:
+    def test_read_in_order(self):
+        stream = vector_read_stream([1, "two", [3]])
+        assert stream.get() == 1
+        assert stream.get() == "two"
+        assert stream.get() == [3]
+        assert stream.endof()
+        with pytest.raises(EndOfStream):
+            stream.get()
+
+    def test_reset_returns_to_start(self):
+        stream = vector_read_stream([1, 2])
+        stream.get()
+        stream.reset()
+        assert stream.get() == 1
+
+    def test_positioning(self):
+        stream = vector_read_stream([10, 20, 30])
+        stream.call("set_position", 2)
+        assert stream.get() == 30
+        assert stream.call("read_position") == 3
+        stream.call("set_position", 99)  # clamped
+        assert stream.endof()
+
+    def test_write_collects(self):
+        stream = vector_write_stream()
+        stream.put("a")
+        stream.put("b")
+        assert stream.call("contents") == ["a", "b"]
+        assert not stream.endof()  # write streams never end
+        stream.reset()
+        assert stream.call("contents") == []
+
+
+class TestByteAndStringStreams:
+    def test_byte_round_trip(self):
+        src = byte_read_stream(b"\x00\xff")
+        assert [src.get(), src.get()] == [0, 255]
+        dst = byte_write_stream()
+        dst.put(65)
+        dst.put(66)
+        assert dst.call("bytes") == b"AB"
+
+    def test_string_round_trip(self):
+        src = string_read_stream("hi")
+        dst = string_write_stream()
+        dst.put(src.get())
+        dst.put(src.get())
+        assert dst.call("string") == "hi"
+
+
+class TestNullStream:
+    def test_swallows_and_produces_nothing(self):
+        stream = null_stream()
+        stream.put("anything")
+        assert stream.endof()
+        with pytest.raises(EndOfStream):
+            stream.get()
+        stream.reset()

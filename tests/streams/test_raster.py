@@ -1,0 +1,97 @@
+"""Tests for the memory-resident display raster."""
+
+import pytest
+
+from repro.memory import Memory
+from repro.streams.raster import MemoryRaster, raster_stream, raster_words
+
+
+@pytest.fixture
+def setup():
+    memory = Memory(0x4000)
+    raster = MemoryRaster(memory.region(0x1000, raster_words(20, 4)), columns=20, lines=4)
+    return memory, raster
+
+
+class TestRaster:
+    def test_write_and_read(self, setup):
+        memory, raster = setup
+        raster.write("hello\nworld")
+        assert raster.visible_lines()[:2] == ["hello", "world"]
+
+    def test_wrap(self, setup):
+        memory, raster = setup
+        raster.write("x" * 25)
+        assert raster.line_text(0) == "x" * 20
+        assert raster.line_text(1) == "x" * 5
+
+    def test_scroll(self, setup):
+        memory, raster = setup
+        raster.write("1\n2\n3\n4\n5\n")
+        lines = [l for l in raster.visible_lines() if l]
+        assert lines == ["3", "4", "5"]
+
+    def test_control_characters(self, setup):
+        memory, raster = setup
+        raster.write("abc\rX")
+        assert raster.line_text(0) == "Xbc"
+        raster.write("\b")
+        assert raster.line_text(0) == " bc"  # backspace blanked the X at column 0
+
+    def test_form_feed_clears(self, setup):
+        memory, raster = setup
+        raster.write("junk\f")
+        assert raster.text() == ""
+
+    def test_geometry_validation(self):
+        memory = Memory(0x100)
+        with pytest.raises(ValueError):
+            MemoryRaster(memory.region(0, 10), columns=20, lines=4)
+        with pytest.raises(ValueError):
+            MemoryRaster(memory.region(0, 100), columns=0, lines=1)
+
+    def test_cells_really_live_in_memory(self, setup):
+        memory, raster = setup
+        raster.write("A")
+        assert ord("A") in memory.read_block(0x1000, raster_words(20, 4))
+
+
+class TestScreenTravelsWithTheWorld:
+    def test_memory_dump_carries_the_screen(self, setup):
+        """The Alto property: the screen image is part of the world."""
+        memory, raster = setup
+        raster.write("before the swap")
+        image = memory.dump()
+        raster.clear()
+        raster.write("other program's screen")
+        memory.load(image)
+        assert raster.line_text(0) == "before the swap"
+
+    def test_full_world_swap_restores_the_screen(self):
+        from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+        from repro.fs import FileSystem
+        from repro.world import Machine, WorldSwapper
+
+        drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=60)))
+        fs = FileSystem.format(drive)
+        machine = Machine()
+        raster = MemoryRaster(machine.memory.region(0x4000, raster_words(40, 8)),
+                              columns=40, lines=8)
+        raster.write("editor screen contents")
+        swapper = WorldSwapper(fs, machine)
+        swapper.outload("editor.world", "editor", "resume")
+        raster.clear()
+        raster.write("debugger took over")
+        swapper.inload("editor.world")
+        assert raster.line_text(0) == "editor screen contents"
+
+
+class TestRasterStream:
+    def test_stream_protocol(self, setup):
+        memory, raster = setup
+        stream = raster_stream(raster)
+        stream.put("H")
+        stream.put(105)  # 'i'
+        assert stream.call("text") == "Hi"
+        stream.reset()
+        assert stream.call("text") == ""

@@ -1,0 +1,137 @@
+"""Unit tests for the 16-bit word discipline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import words
+from repro.words import (
+    bytes_to_words,
+    check_word,
+    checksum,
+    from_double_word,
+    ones_words,
+    string_to_words,
+    string_word_count,
+    to_double_word,
+    word,
+    words_to_bytes,
+    words_to_string,
+    zero_words,
+)
+
+
+class TestWordBasics:
+    def test_word_masks_to_16_bits(self):
+        assert word(0x1_2345) == 0x2345
+        assert word(-1) == 0xFFFF
+        assert word(0xFFFF) == 0xFFFF
+
+    def test_check_word_accepts_range(self):
+        assert check_word(0) == 0
+        assert check_word(0xFFFF) == 0xFFFF
+
+    @pytest.mark.parametrize("bad", [-1, 0x10000, 1.5, "3", None])
+    def test_check_word_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_word(bad)
+
+    def test_is_word(self):
+        assert words.is_word(0) and words.is_word(0xFFFF)
+        assert not words.is_word(-1)
+        assert not words.is_word(0x10000)
+        assert not words.is_word("x")
+
+    def test_page_constants(self):
+        assert words.PAGE_DATA_WORDS == 256
+        assert words.PAGE_DATA_BYTES == 512
+
+
+class TestDoubleWords:
+    def test_round_trip(self):
+        high, low = to_double_word(0x1234_5678)
+        assert (high, low) == (0x1234, 0x5678)
+        assert from_double_word(high, low) == 0x1234_5678
+
+    def test_extremes(self):
+        assert to_double_word(0) == (0, 0)
+        assert to_double_word(0xFFFF_FFFF) == (0xFFFF, 0xFFFF)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_double_word(0x1_0000_0000)
+        with pytest.raises(ValueError):
+            to_double_word(-1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF))
+    def test_round_trip_property(self, value):
+        assert from_double_word(*to_double_word(value)) == value
+
+
+class TestBytePacking:
+    def test_even_bytes(self):
+        assert bytes_to_words(b"\x01\x02\x03\x04") == [0x0102, 0x0304]
+
+    def test_odd_bytes_padded(self):
+        assert bytes_to_words(b"\x01\x02\x03") == [0x0102, 0x0300]
+        assert bytes_to_words(b"\x01\x02\x03", pad=0xFF) == [0x0102, 0x03FF]
+
+    def test_empty(self):
+        assert bytes_to_words(b"") == []
+        assert words_to_bytes([]) == b""
+
+    def test_words_to_bytes_truncation(self):
+        assert words_to_bytes([0x4142, 0x4300], nbytes=3) == b"ABC"
+
+    def test_truncation_beyond_available_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([0x4142], nbytes=3)
+
+    @given(st.binary(max_size=600))
+    def test_round_trip_property(self, data):
+        assert words_to_bytes(bytes_to_words(data), nbytes=len(data)) == data
+
+
+class TestBcplStrings:
+    def test_round_trip(self):
+        for text in ("", "a", "hello", "x" * 255):
+            assert words_to_string(string_to_words(text)) == text
+
+    def test_length_limit(self):
+        with pytest.raises(ValueError):
+            string_to_words("x" * 256)
+
+    def test_custom_limit(self):
+        with pytest.raises(ValueError):
+            string_to_words("hello", max_bytes=4)
+
+    def test_word_count(self):
+        assert string_word_count("") == 1  # length byte + pad
+        assert string_word_count("abc") == 2
+
+    def test_corrupt_length_byte(self):
+        # Claims 10 chars but only 1 byte follows.
+        with pytest.raises(ValueError):
+            words_to_string([0x0A41])
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200))
+    def test_round_trip_property(self, text):
+        assert words_to_string(string_to_words(text)) == text
+
+
+class TestFillsAndChecksum:
+    def test_zero_and_ones(self):
+        assert zero_words(3) == [0, 0, 0]
+        assert ones_words(2) == [0xFFFF, 0xFFFF]
+
+    def test_checksum_detects_change(self):
+        data = list(range(100))
+        base = checksum(data)
+        data[50] ^= 0x0400
+        assert checksum(data) != base
+
+    def test_checksum_of_empty(self):
+        assert checksum([]) == 0xFFFF
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=64))
+    def test_checksum_is_a_word(self, data):
+        assert 0 <= checksum(data) <= 0xFFFF

@@ -1,0 +1,102 @@
+"""Boot-file tests (section 4)."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.errors import FileFormatError, WorldError
+from repro.fs import BOOT_PAGE_ADDRESS, FileSystem
+from repro.world import (
+    Halt,
+    Machine,
+    ProgramRegistry,
+    WorldEngine,
+    WorldProgram,
+    create_boot_file,
+    hardware_boot,
+    read_boot_pointer,
+)
+
+
+@pytest.fixture
+def world():
+    drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=60)))
+    fs = FileSystem.format(drive)
+    machine = Machine()
+    registry = ProgramRegistry()
+    engine = WorldEngine(machine, fs, registry)
+    return machine, fs, registry, engine
+
+
+class TestBootFile:
+    def test_page_one_pinned_at_fixed_address(self, world):
+        machine, fs, registry, engine = world
+        boot = create_boot_file(fs)
+        assert boot.page_name(1).address == BOOT_PAGE_ADDRESS
+        assert boot.page_name(0).address != BOOT_PAGE_ADDRESS
+
+    def test_listed_in_root(self, world):
+        machine, fs, registry, engine = world
+        create_boot_file(fs)
+        assert "Sys.boot" in fs.list_files()
+
+    def test_duplicate_rejected(self, world):
+        machine, fs, registry, engine = world
+        create_boot_file(fs)
+        with pytest.raises(FileFormatError):
+            create_boot_file(fs)
+
+    def test_boot_pointer_follows_back_link(self, world):
+        machine, fs, registry, engine = world
+        boot = create_boot_file(fs)
+        pointer = read_boot_pointer(fs.drive)
+        assert pointer.fid == boot.fid
+        assert pointer.address == boot.leader_address()
+
+    def test_no_boot_file(self, world):
+        machine, fs, registry, engine = world
+        with pytest.raises(WorldError):
+            read_boot_pointer(fs.drive)
+
+
+class TestHardwareBoot:
+    def test_boot_restores_saved_world(self, world):
+        """"the file may have been written by saving the state of a running
+        program that will be resumed each time the machine is
+        bootstrapped"."""
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Resumable(WorldProgram):
+            name = "resumable"
+
+            def phase_saved(self, ctx, message):
+                return Halt(ctx.machine.memory[0x900])
+
+        create_boot_file(fs)
+        machine.memory[0x900] = 1979
+        engine.swapper.outload("Sys.boot", "resumable", "saved")
+        machine.memory[0x900] = 0  # power off wipes memory
+
+        assert hardware_boot(engine) == 1979
+
+    def test_boot_survives_scavenge(self, world):
+        """The boot page is pinned; a scavenge must leave it bootable."""
+        from repro.fs.scavenger import Scavenger
+
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Resumable(WorldProgram):
+            name = "resumable"
+
+            def phase_saved(self, ctx, message):
+                return Halt("alive")
+
+        create_boot_file(fs)
+        machine.memory[0x900] = 1
+        engine.swapper.outload("Sys.boot", "resumable", "saved")
+        Scavenger(DiskDrive(fs.drive.image, clock=fs.drive.clock)).scavenge()
+
+        fs2 = FileSystem.mount(DiskDrive(fs.drive.image, clock=fs.drive.clock))
+        engine2 = WorldEngine(machine, fs2, registry)
+        assert hardware_boot(engine2) == "alive"

@@ -1,0 +1,76 @@
+"""Checkpointing tests (section 4)."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.errors import BadStateFile, FileNotFound
+from repro.fs import FileSystem
+from repro.world import (
+    Checkpointer,
+    Halt,
+    Machine,
+    ProgramRegistry,
+    Transfer,
+    WorldEngine,
+    WorldProgram,
+    resume_from_checkpoint,
+)
+
+
+@pytest.fixture
+def world():
+    drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=60)))
+    fs = FileSystem.format(drive)
+    machine = Machine()
+    registry = ProgramRegistry()
+    engine = WorldEngine(machine, fs, registry)
+    return machine, fs, registry, engine
+
+
+class TestCheckpointer:
+    def test_interval_gating(self, world):
+        machine, fs, registry, engine = world
+        checkpointer = Checkpointer("c.state", interval_s=100.0)
+
+        @registry.register
+        class Worker(WorldProgram):
+            name = "worker"
+
+            def phase_start(self, ctx, message):
+                took_first = checkpointer.maybe_checkpoint(ctx)
+                took_second = checkpointer.maybe_checkpoint(ctx)  # too soon
+                return Halt((took_first, took_second))
+
+        assert engine.run("worker") == (True, False)
+        assert checkpointer.checkpoints_taken == 1
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            Checkpointer("c.state", interval_s=0)
+
+    def test_crash_and_resume(self, world):
+        """Save, "crash" (wipe the machine), resume from the checkpoint."""
+        machine, fs, registry, engine = world
+        checkpointer = Checkpointer("c.state", interval_s=1.0, resume_phase="resume")
+
+        @registry.register
+        class LongJob(WorldProgram):
+            name = "longjob"
+
+            def phase_start(self, ctx, message):
+                ctx.machine.memory[0x800] = 31415  # progress so far
+                checkpointer.checkpoint(ctx)
+                return Halt("crashed before finishing")
+
+            def phase_resume(self, ctx, message):
+                return Halt(("resumed-with", ctx.machine.memory[0x800]))
+
+        engine.run("longjob")
+        machine.memory[0x800] = 0  # the crash
+
+        assert resume_from_checkpoint(engine, "c.state") == ("resumed-with", 31415)
+
+    def test_missing_checkpoint(self, world):
+        machine, fs, registry, engine = world
+        with pytest.raises(FileNotFound):
+            resume_from_checkpoint(engine, "never.state")

@@ -1,0 +1,111 @@
+"""Tests for the coroutine-linkage helpers (section 4.1)."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.fs import FileSystem
+from repro.world import (
+    Halt,
+    Machine,
+    ProgramRegistry,
+    Transfer,
+    WorldEngine,
+    WorldProgram,
+    coroutine_call,
+    full_name_to_words,
+    full_name_from_words,
+    reply,
+)
+
+
+@pytest.fixture
+def world():
+    drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=60)))
+    fs = FileSystem.format(drive)
+    machine = Machine()
+    registry = ProgramRegistry()
+    return machine, fs, registry, WorldEngine(machine, fs, registry)
+
+
+class TestCoroutineHelpers:
+    def test_call_saves_then_transfers(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Caller(WorldProgram):
+            name = "caller"
+
+            def phase_start(self, ctx, message):
+                return coroutine_call(ctx, "caller.state", "callee.state", message=[5])
+
+            def phase_resumed(self, ctx, message):
+                return Halt(("reply-was", list(message)))
+
+        @registry.register
+        class Callee(WorldProgram):
+            name = "callee"
+
+            def phase_start(self, ctx, message):
+                return reply(ctx, "caller.state", message=[message[0] * 2],
+                             my_state_file="callee.state")
+
+        engine.swapper.outload("callee.state", "callee", "start")
+        assert engine.run("caller") == ("reply-was", [10])
+
+    def test_reply_without_saving_self(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class OneShot(WorldProgram):
+            name = "oneshot"
+
+            def phase_start(self, ctx, message):
+                # A terminal partner: answers and never expects resumption.
+                return reply(ctx, "caller.state", message=[99])
+
+        @registry.register
+        class Caller(WorldProgram):
+            name = "caller"
+
+            def phase_start(self, ctx, message):
+                return coroutine_call(ctx, "caller.state", "oneshot.state")
+
+            def phase_resumed(self, ctx, message):
+                return Halt(list(message))
+
+        engine.swapper.outload("oneshot.state", "oneshot", "start")
+        assert engine.run("caller") == [99]
+        assert fs.root.lookup("oneshot.state") is not None  # never re-saved
+
+    def test_return_address_in_message(self, world):
+        """"Often the message contains a return address, that is, the full
+        name of a file to restore upon return"."""
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Service(WorldProgram):
+            name = "service"
+
+            def phase_start(self, ctx, message):
+                # Decode the return address from the message words.
+                return_to = full_name_from_words(list(message[:4]))
+                state_file = ctx.fs.open_entry(
+                    next(e for e in ctx.fs.root.entries()
+                         if e.fid == return_to.fid)
+                )
+                return Transfer(state_file.name, message=[1234])
+
+        @registry.register
+        class Client(WorldProgram):
+            name = "client"
+
+            def phase_start(self, ctx, message):
+                ctx.outload("client.state", "resumed")
+                mine = ctx.fs.open_file("client.state").full_name()
+                return Transfer("service.state", message=full_name_to_words(mine))
+
+            def phase_resumed(self, ctx, message):
+                return Halt(message[0])
+
+        engine.swapper.outload("service.state", "service", "start")
+        assert engine.run("client") == 1234

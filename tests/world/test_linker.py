@@ -1,0 +1,81 @@
+"""Tests for the boot-file linker (section 4)."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.errors import LoadError
+from repro.os import AltoOS, CodeFile, Fixup
+from repro.world import create_boot_file, hardware_boot
+from repro.world.linker import (
+    LINKED_RUNNER,
+    link_boot_program,
+    read_launch_vector,
+    register_linked_runner,
+    write_launch_vector,
+)
+
+
+@pytest.fixture
+def os():
+    return AltoOS.format(DiskDrive(DiskImage(tiny_test_disk(cylinders=60))))
+
+
+class TestLaunchVector:
+    def test_round_trip(self, os):
+        write_launch_vector(os.machine.memory, "MyEntry", ["a", "b c".replace(" ", "-")])
+        entry, args = read_launch_vector(os.machine.memory)
+        assert entry == "MyEntry"
+        assert args == ["a", "b-c"]
+
+    def test_no_args(self, os):
+        write_launch_vector(os.machine.memory, "Solo", [])
+        assert read_launch_vector(os.machine.memory) == ("Solo", [])
+
+    def test_missing_vector(self, os):
+        with pytest.raises(LoadError):
+            read_launch_vector(os.machine.memory)
+
+
+class TestLinkAndBoot:
+    def test_linked_program_runs_on_boot(self, os):
+        """The whole section-4 story: link, power off, press the button."""
+        results = []
+
+        def diagnostics(o, args):
+            results.append(list(args))
+            return f"diagnosed {' '.join(args)}"
+
+        os.executables.register("Diagnose", diagnostics)
+        create_boot_file(os.fs)
+        code = CodeFile(entry="Diagnose", code=[1, 2, 3], fixups=[Fixup(0, "zone-object")])
+        link_boot_program(os, code, args=["disk0", "verbose"])
+
+        # Power off: wipe the live machine utterly.
+        os.machine.memory.fill(0, os.machine.memory.size, 0)
+        outcome = hardware_boot(os.engine)
+        assert outcome == "diagnosed disk0 verbose"
+        assert results == [["disk0", "verbose"]]
+
+    def test_program_code_travels_in_the_image(self, os):
+        """After boot, the linked code words are back in low memory even
+        though the live machine was wiped -- they came from the image."""
+        from repro.os.loader import LOAD_ADDRESS
+
+        os.executables.register("Probe", lambda o, a: o.machine.memory[LOAD_ADDRESS])
+        create_boot_file(os.fs)
+        link_boot_program(os, CodeFile(entry="Probe", code=[0xBEEF]))
+        os.machine.memory.fill(0, os.machine.memory.size, 0)
+        assert hardware_boot(os.engine) == 0xBEEF
+
+    def test_register_runner_idempotent(self, os):
+        register_linked_runner(os)
+        register_linked_runner(os)
+        assert os.programs.names().count(LINKED_RUNNER) == 1
+
+    def test_relink_replaces_the_boot_world(self, os):
+        os.executables.register("First", lambda o, a: "first")
+        os.executables.register("Second", lambda o, a: "second")
+        create_boot_file(os.fs)
+        link_boot_program(os, CodeFile(entry="First", code=[1]))
+        link_boot_program(os, CodeFile(entry="Second", code=[2]))
+        assert hardware_boot(os.engine) == "second"

@@ -1,0 +1,51 @@
+"""Tests for the machine model."""
+
+import pytest
+
+from repro.world.machine import Machine, REGISTER_COUNT
+
+
+class TestRegisters:
+    def test_read_write(self):
+        machine = Machine()
+        machine.set_register(3, 0x1234)
+        assert machine.get_register(3) == 0x1234
+
+    def test_bounds(self):
+        machine = Machine()
+        with pytest.raises(IndexError):
+            machine.set_register(REGISTER_COUNT, 0)
+        with pytest.raises(IndexError):
+            machine.get_register(-1)
+
+    def test_word_range(self):
+        with pytest.raises(ValueError):
+            Machine().set_register(0, 0x10000)
+
+
+class TestCaptureRestore:
+    def test_round_trip(self):
+        machine = Machine()
+        machine.memory[0x42] = 7
+        machine.set_register(0, 99)
+        machine.keyboard.type_text("pending")
+        state = machine.capture()
+
+        other = Machine()
+        other.restore(state)
+        assert other.memory[0x42] == 7
+        assert other.get_register(0) == 99
+        assert other.keyboard.snapshot() == "pending"
+
+    def test_capture_is_a_snapshot(self):
+        machine = Machine()
+        state = machine.capture()
+        machine.memory[0] = 1
+        assert state["memory"][0] == 0
+
+    def test_restore_validates_registers(self):
+        machine = Machine()
+        state = machine.capture()
+        state["registers"] = [0, 1]
+        with pytest.raises(ValueError):
+            machine.restore(state)

@@ -1,0 +1,236 @@
+"""InLoad/OutLoad and engine tests (section 4.1)."""
+
+import pytest
+
+from repro.disk import DiskDrive, DiskImage, tiny_test_disk
+from repro.errors import BadStateFile, WorldError
+from repro.fs import FileSystem
+from repro.world import (
+    Halt,
+    Machine,
+    ProgramRegistry,
+    Transfer,
+    WorldEngine,
+    WorldProgram,
+    WorldSwapper,
+    coroutine_call,
+)
+
+
+@pytest.fixture
+def world():
+    drive = DiskDrive(DiskImage(tiny_test_disk(cylinders=60)))
+    fs = FileSystem.format(drive)
+    machine = Machine()
+    registry = ProgramRegistry()
+    engine = WorldEngine(machine, fs, registry)
+    return machine, fs, registry, engine
+
+
+class TestSwapper:
+    def test_outload_inload_round_trip(self, world):
+        machine, fs, registry, engine = world
+        machine.memory[0x500] = 777
+        machine.set_register(2, 42)
+        machine.keyboard.type_text("typed ahead")
+        swapper = engine.swapper
+        swapper.outload("w.state", "prog", "next")
+
+        machine.memory[0x500] = 0
+        machine.set_register(2, 0)
+        machine.keyboard.flush()
+
+        program, phase = swapper.inload("w.state")
+        assert (program, phase) == ("prog", "next")
+        assert machine.memory[0x500] == 777
+        assert machine.get_register(2) == 42
+        assert machine.keyboard.snapshot() == "typed ahead"
+
+    def test_repeated_outload_reuses_the_file(self, world):
+        machine, fs, registry, engine = world
+        swapper = engine.swapper
+        swapper.outload("w.state", "p", "a")
+        free_after_first = fs.free_pages()
+        swapper.outload("w.state", "p", "b")
+        assert fs.free_pages() == free_after_first  # no new pages
+
+    def test_reused_outload_takes_about_a_second(self, world):
+        """Section 4.1: each routine "requires about a second"."""
+        machine, fs, registry, engine = world
+        swapper = engine.swapper
+        swapper.outload("w.state", "p", "a")  # creation (installation phase)
+        watch = fs.drive.clock.stopwatch()
+        swapper.outload("w.state", "p", "b")
+        assert 0.5 < watch.elapsed_s < 2.5
+        watch = fs.drive.clock.stopwatch()
+        swapper.inload("w.state")
+        assert 0.5 < watch.elapsed_s < 2.5
+
+    def test_emergency_outload_loses_registers(self, world):
+        """Section 4.1: the emergency method "could not preserve some of
+        the most vital state (e.g., processor registers)"."""
+        machine, fs, registry, engine = world
+        machine.set_register(0, 99)
+        machine.memory[0x10] = 5
+        engine.swapper.emergency_outload("crash.state", "prog")
+        program, phase = engine.swapper.inload("crash.state")
+        assert phase == "emergency"
+        assert machine.memory[0x10] == 5  # memory preserved
+        assert machine.get_register(0) == 0  # registers lost
+
+    def test_inload_of_torn_state_file_rejected(self, world):
+        machine, fs, registry, engine = world
+        file = engine.swapper.outload("w.state", "p", "a")
+        # Corrupt one memory word inside the image on disk.
+        contents = file.read_page(5)
+        data = list(contents.value)
+        data[17] ^= 0x0101
+        file.write_full_page(5, data)
+        with pytest.raises(BadStateFile):
+            engine.swapper.inload("w.state")
+
+
+class TestEngine:
+    def test_halt_returns_result(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Quick(WorldProgram):
+            name = "quick"
+
+            def phase_start(self, ctx, message):
+                return Halt("done")
+
+        assert engine.run("quick") == "done"
+
+    def test_message_delivery(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Receiver(WorldProgram):
+            name = "receiver"
+
+            def phase_start(self, ctx, message):
+                return Halt(list(message))
+
+        engine.swapper.outload("r.state", "receiver", "start")
+
+        @registry.register
+        class Sender(WorldProgram):
+            name = "sender"
+
+            def phase_start(self, ctx, message):
+                return Transfer("r.state", message=[7, 8, 9])
+
+        assert engine.run("sender") == [7, 8, 9]
+
+    def test_memory_is_per_world(self, world):
+        """InLoad restores the whole image: another world's memory writes
+        do not leak in (data must travel in the message or on files)."""
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class A(WorldProgram):
+            name = "a"
+
+            def phase_start(self, ctx, message):
+                ctx.machine.memory[0x100] = 11
+                ctx.outload("a.state", "back")
+                return Transfer("b.state")
+
+            def phase_back(self, ctx, message):
+                return Halt(ctx.machine.memory[0x100])
+
+        @registry.register
+        class B(WorldProgram):
+            name = "b"
+
+            def phase_start(self, ctx, message):
+                ctx.machine.memory[0x100] = 99  # B's world only
+                return Transfer("a.state")
+
+        engine.swapper.outload("b.state", "b", "start")
+        assert engine.run("a") == 11
+
+    def test_coroutine_ping_pong(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Ping(WorldProgram):
+            name = "ping"
+
+            def phase_start(self, ctx, message):
+                return coroutine_call(ctx, "ping.state", "pong.state", message=[0])
+
+            def phase_resumed(self, ctx, message):
+                if message[0] >= 4:
+                    return Halt(message[0])
+                return coroutine_call(ctx, "ping.state", "pong.state", message=[message[0]])
+
+        @registry.register
+        class Pong(WorldProgram):
+            name = "pong"
+
+            def phase_start(self, ctx, message):
+                return coroutine_call(
+                    ctx, "pong.state", "ping.state", message=[message[0] + 1],
+                    resume_phase="start",
+                )
+
+            phase_resumed = phase_start
+
+        engine.swapper.outload("pong.state", "pong", "start")
+        assert engine.run("ping") == 4
+        assert len(engine.transfer_log) >= 8
+
+    def test_unknown_phase(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Lost(WorldProgram):
+            name = "lost"
+
+        with pytest.raises(WorldError):
+            engine.run("lost", phase="nowhere")
+
+    def test_unknown_program(self, world):
+        machine, fs, registry, engine = world
+        with pytest.raises(WorldError):
+            engine.run("ghost")
+
+    def test_bad_action_rejected(self, world):
+        machine, fs, registry, engine = world
+
+        @registry.register
+        class Wrong(WorldProgram):
+            name = "wrong"
+
+            def phase_start(self, ctx, message):
+                return "not an action"
+
+        with pytest.raises(WorldError):
+            engine.run("wrong")
+
+    def test_runaway_guard(self, world):
+        machine, fs, registry, engine = world
+        engine.max_transfers = 3
+
+        @registry.register
+        class Loop(WorldProgram):
+            name = "loop"
+
+            def phase_start(self, ctx, message):
+                ctx.outload("loop.state", "start")
+                return Transfer("loop.state")
+
+        with pytest.raises(WorldError):
+            engine.run("loop")
+
+    def test_nameless_program_rejected(self, world):
+        machine, fs, registry, engine = world
+
+        class NoName(WorldProgram):
+            pass
+
+        with pytest.raises(WorldError):
+            registry.register(NoName)
