@@ -5,6 +5,11 @@ connects your terminal to the Executive.  Every command you type runs
 against the simulated disk; ``quit`` exits.  This is a convenience shell
 around :class:`repro.os.AltoOS` -- everything it does is available as
 library calls.
+
+``python -m repro crashtest`` instead runs the exhaustive crash-point
+sweep: the canonical workload is crashed at every sector part-write (or
+torn there, with ``--tear``), the Scavenger recovers the pack, and every
+recovery invariant is checked (see :mod:`repro.fs.check`).
 """
 
 from __future__ import annotations
@@ -30,7 +35,64 @@ def build_demo(os: AltoOS) -> None:
     )
 
 
+def crashtest(argv) -> int:
+    """The ``crashtest`` subcommand: sweep every crash point and verify."""
+    from .fs.check import canonical_build, canonical_workload, crash_point_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro crashtest",
+        description="Exhaustive crash-consistency sweep of the canonical workload",
+    )
+    parser.add_argument("--seed", type=int, default=1979,
+                        help="seed for pack contents, workload, and torn-write garbage")
+    parser.add_argument("--cylinders", type=int, default=20,
+                        help="size of the test pack (tiny_test_disk cylinders)")
+    parser.add_argument("--tear", action="store_true",
+                        help="tear each write (prefix + garbage, checksum ruined) "
+                             "instead of crashing cleanly before it")
+    parser.add_argument("--points", metavar="N[,N...]",
+                        help="sweep only these crash points (default: all)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every crash point as it is checked")
+    args = parser.parse_args(argv)
+
+    points = None
+    if args.points:
+        try:
+            points = [int(p) for p in args.points.split(",")]
+        except ValueError:
+            parser.error(f"--points expects integers, got {args.points!r}")
+
+    def narrate(report):
+        status = "ok" if report.ok else "FAIL"
+        print(f"  {'tear' if args.tear else 'crash'}@{report.crash_point}: {status}"
+              f"  ({report.crash_reason})")
+
+    try:
+        result = crash_point_sweep(
+            canonical_build(args.seed, cylinders=args.cylinders),
+            canonical_workload(args.seed),
+            seed=args.seed,
+            points=points,
+            tear=args.tear,
+            on_point=narrate if args.verbose else None,
+        )
+    except ValueError as exc:  # e.g. a crash point outside 1..total
+        parser.error(str(exc))
+    print(result.summary())
+    for failure in result.failures:
+        print(f"FAIL {failure}")
+    if result.failures:
+        print(f"replay one point with: python -m repro crashtest --seed {args.seed}"
+              f"{' --tear' if args.tear else ''} --points <N> -v")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "crashtest":
+        return crashtest(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive Executive on a simulated Alto (SOSP 1979 reproduction)",

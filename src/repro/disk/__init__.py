@@ -7,8 +7,8 @@ value independently), the 0-wildcard check semantics, and a seek/rotation
 timing model calibrated to the Diablo Model 31.
 """
 
-from .drive import Action, DiskDrive, PartCommand, TransferResult
-from .faults import FaultInjector
+from .drive import MAX_READ_RETRIES, Action, DiskDrive, PartCommand, TransferResult
+from .faults import FaultInjector, FaultPlan
 from .geometry import NIL, DiskShape, diablo31, diablo44, tiny_test_disk
 from .image import DiskImage
 from .sector import (
@@ -24,7 +24,7 @@ from .sector import (
     value_words,
 )
 from .timing import ROTATION, SEEK, TRANSFER, ArmTimer
-from .trace import DiskTrace, TraceRecord
+from .trace import TRACE_POINTS, DiskTrace, TraceRecord, check_point, point_name
 
 __all__ = [
     "Action",
@@ -35,8 +35,11 @@ __all__ = [
     "DiskShape",
     "DiskTrace",
     "TraceRecord",
+    "TRACE_POINTS",
     "FaultInjector",
+    "FaultPlan",
     "HEADER_WORDS",
+    "MAX_READ_RETRIES",
     "Header",
     "LABEL_WORDS",
     "Label",
@@ -50,8 +53,10 @@ __all__ = [
     "TRANSFER",
     "TransferResult",
     "VALUE_WORDS",
+    "check_point",
     "diablo31",
     "diablo44",
+    "point_name",
     "tiny_test_disk",
     "value_words",
 ]

@@ -22,10 +22,17 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..clock import SimClock
-from ..errors import BadSectorError, CheckError, LabelCheckError
+from ..errors import (
+    BadSectorError,
+    CheckError,
+    LabelCheckError,
+    ReadRetriesExhausted,
+    SectorChecksumError,
+    TransientReadError,
+)
 from .image import DiskImage
 from .sector import HEADER_WORDS, LABEL_WORDS, VALUE_WORDS, Header, Label, Sector
-from .timing import ArmTimer
+from .timing import ROTATION, ArmTimer
 
 
 class Action(enum.Enum):
@@ -40,6 +47,11 @@ class Action(enum.Enum):
 #: Part names in the order they pass under the head.
 PART_ORDER = ("header", "label", "value")
 _PART_SIZES = {"header": HEADER_WORDS, "label": LABEL_WORDS, "value": VALUE_WORDS}
+
+#: Default bounded retry budget for transient read errors: a marginal read
+#: is retried on later revolutions with linearly growing backoff; past the
+#: budget the typed :class:`~repro.errors.ReadRetriesExhausted` surfaces.
+MAX_READ_RETRIES = 4
 
 
 @dataclass
@@ -84,6 +96,8 @@ class DriveStats:
         self.label_writes = 0
         self.value_reads = 0
         self.value_writes = 0
+        self.transient_read_errors = 0
+        self.read_retries = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -97,12 +111,14 @@ class DiskDrive:
         image: DiskImage,
         clock: Optional[SimClock] = None,
         fault_injector=None,
+        max_read_retries: int = MAX_READ_RETRIES,
     ) -> None:
         self.image = image
         self.clock = clock if clock is not None else SimClock()
         self.timer = ArmTimer(image.shape, self.clock)
         self.stats = DriveStats()
         self.fault_injector = fault_injector
+        self.max_read_retries = max_read_retries
         #: Optional observer (see :class:`repro.disk.trace.DiskTrace`).
         self.trace = None
 
@@ -129,6 +145,14 @@ class DiskDrive:
         scheduled *after* the check never happens, "so that a subsequent
         write operation can be aborted before anything is written, without
         taking an extra revolution" (section 3.3).
+
+        Transient read errors (dust, marginal signal -- injected through the
+        fault plan) are absorbed here: the pass is retried with linearly
+        growing rotational backoff, up to ``max_read_retries`` times.  The
+        write-continuation rule means writes are always a suffix of the
+        parts, so an aborted pass has written nothing and the retry is safe.
+        Past the budget, :class:`~repro.errors.ReadRetriesExhausted` surfaces
+        to the caller with the last transient error chained.
         """
         commands = {
             "header": header if header is not None else PartCommand(),
@@ -149,13 +173,35 @@ class DiskDrive:
         if self.fault_injector is not None:
             self.fault_injector.before_parts(self, address, commands)
 
+        attempt = 0
+        while True:
+            try:
+                return self._process_parts(address, commands)
+            except TransientReadError as exc:
+                attempt += 1
+                self.stats.transient_read_errors += 1
+                if attempt > self.max_read_retries:
+                    raise ReadRetriesExhausted(address, attempt) from exc
+                self.stats.read_retries += 1
+                self._retry_backoff(attempt)
+
+    def _process_parts(self, address: int, commands: dict) -> TransferResult:
+        """One pass over the sector: parts in head order."""
+        hook = getattr(self.fault_injector, "before_part", None)
         sector = self.image.sector(address)
         result = TransferResult()
         for part in PART_ORDER:
             command = commands[part]
             if command.action is Action.NONE:
                 continue
+            if hook is not None:
+                hook(self, address, part, command.action.value)
             disk_words = self._get_part(sector, part)
+            if command.action in (Action.READ, Action.CHECK):
+                # A part a torn write left half-written fails its checksum on
+                # every read until something writes it afresh.
+                if (address, part) in self.image.checksum_bad:
+                    raise SectorChecksumError(address, part)
             if command.action is Action.READ:
                 setattr(result, part, list(disk_words))
                 self._count(part, reading=True)
@@ -165,8 +211,15 @@ class DiskDrive:
                 self._count(part, reading=True)
             elif command.action is Action.WRITE:
                 self._write_part(sector, address, part, command.data)
+                self.image.checksum_bad.discard((address, part))
                 self._count(part, reading=False)
         return result
+
+    def _retry_backoff(self, attempt: int) -> None:
+        """Wait out *attempt* extra revolutions, then re-read the sector."""
+        rotation_us = round(self.shape.rotation_ms * 1000)
+        self.clock.advance_us(attempt * rotation_us, ROTATION)
+        self.timer.transfer_sector()
 
     # -- helpers ------------------------------------------------------------
 

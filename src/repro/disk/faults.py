@@ -14,12 +14,14 @@ so every campaign is reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
-from ..errors import TornWriteError
+from ..errors import PowerFailure, TornWriteError, TransientReadError
 from ..words import WORD_MASK
 from .image import DiskImage
 from .sector import Label
+from .trace import check_point, point_name
 
 
 class FaultInjector:
@@ -141,3 +143,280 @@ class FaultInjector:
         if count > len(in_use):
             raise ValueError(f"only {len(in_use)} sectors in use, asked for {count}")
         return self.rng.sample(in_use, count)
+
+
+# ----------------------------------------------------------------------------
+# FaultPlan: a programmable, deterministic schedule of faults
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class _TransientReads:
+    """A scheduled burst of transient read failures."""
+
+    remaining: int
+    address: Optional[int] = None  # None: any address
+    part: Optional[str] = None  # None: any part
+
+    def matches(self, address: int, part: str) -> bool:
+        if self.remaining <= 0:
+            return False
+        if self.address is not None and address != self.address:
+            return False
+        if self.part is not None and part != self.part:
+            return False
+        return True
+
+
+class FaultPlan(FaultInjector):
+    """A deterministic schedule of faults: the crash-testing engine.
+
+    Where :class:`FaultInjector` offers one-shot corruption calls, a
+    ``FaultPlan`` is *programmable*: attach it to a drive (as its
+    ``fault_injector``) and schedule, ahead of time, exactly where the
+    machine dies or the media glitches.  Everything is counted
+    deterministically, so a campaign that crashes at part-write N is
+    replayable bit-for-bit from (seed, N).
+
+    Crash points:
+
+    * :meth:`crash_at_write` -- die *instead of* performing the Nth
+      part-write (clean crash at a write boundary: writes 1..N-1 landed,
+      write N and everything after did not);
+    * :meth:`tear_at_write` -- the Nth part-write lands *torn* (a prefix of
+      new words, then garbage), then the machine dies;
+    * :meth:`crash_at_point` -- die at the Kth passage of a named trace
+      point from :mod:`repro.disk.trace` (e.g. ``"label:write"``);
+    * :meth:`tear_between_label_and_value` -- in a command that writes both
+      label and value, complete the label write and die before the value
+      write: the on-disk identity is new, the data is old.
+
+    Media faults:
+
+    * :meth:`schedule_transient_reads` -- the next K read/check part
+      attempts fail transiently; the drive's bounded retry-with-backoff
+      must absorb up to its retry budget and surface
+      :class:`~repro.errors.ReadRetriesExhausted` beyond it;
+    * :meth:`flip_bits` -- XOR a mask into one word of any sector part,
+      behind the drive's back (plus everything inherited from
+      :class:`FaultInjector`: decay, scrambles, swaps).
+
+    After any crash the plan considers the machine *down*: every further
+    drive operation raises :class:`~repro.errors.PowerFailure` until
+    :meth:`revive` -- recovery code must run on a fresh drive (or revive
+    first), exactly like a real reboot.
+    """
+
+    def __init__(self, image: DiskImage, seed: int = 1979) -> None:
+        super().__init__(image, seed)
+        self.crashed = False
+        self.crash_reason: Optional[str] = None
+        #: Part-writes seen so far (the crash-point coordinate system).
+        self.writes_seen = 0
+        #: Read/check part attempts seen so far (includes drive retries).
+        self.reads_seen = 0
+        self._crash_at_write: Optional[int] = None
+        self._tear_at_write: Optional[int] = None
+        self._crash_points: Dict[str, int] = {}  # point -> remaining passages
+        self._point_counts: Dict[str, int] = {}
+        self._tear_label_value: Optional[int] = None  # remaining occurrences
+        self._crash_before_value = False  # armed for the current command
+        self._transient: List[_TransientReads] = []
+
+    # ------------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------------
+
+    def crash_at_write(self, n: int) -> "FaultPlan":
+        """Die cleanly in place of part-write *n* (absolute count, 1-based)."""
+        if n <= self.writes_seen:
+            raise ValueError(f"write {n} already happened ({self.writes_seen} seen)")
+        self._crash_at_write = n
+        return self
+
+    def tear_at_write(self, n: int) -> "FaultPlan":
+        """Part-write *n* lands torn (new prefix + garbage), then die."""
+        if n <= self.writes_seen:
+            raise ValueError(f"write {n} already happened ({self.writes_seen} seen)")
+        self._tear_at_write = n
+        return self
+
+    def crash_at_point(self, point: str, occurrence: int = 1) -> "FaultPlan":
+        """Die at the *occurrence*-th future passage of a named trace point."""
+        if occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+        self._crash_points[check_point(point)] = occurrence
+        return self
+
+    def tear_between_label_and_value(self, occurrence: int = 1) -> "FaultPlan":
+        """In the *occurrence*-th command writing label AND value, finish the
+        label write and die before the value write."""
+        if occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+        self._tear_label_value = occurrence
+        return self
+
+    def schedule_transient_reads(
+        self, times: int, address: Optional[int] = None, part: Optional[str] = None
+    ) -> "FaultPlan":
+        """The next *times* matching read/check part attempts fail
+        transiently (each drive retry consumes one failure)."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        self._transient.append(_TransientReads(times, address, part))
+        return self
+
+    def clear(self) -> None:
+        """Drop every scheduled fault (the machine stays up)."""
+        self._crash_at_write = None
+        self._tear_at_write = None
+        self._crash_points.clear()
+        self._tear_label_value = None
+        self._crash_before_value = False
+        self._transient.clear()
+
+    def revive(self) -> None:
+        """Power the machine back on (scheduled faults stay cleared)."""
+        self.clear()
+        self.crashed = False
+        self.crash_reason = None
+
+    # ------------------------------------------------------------------------
+    # Direct corruption additions
+    # ------------------------------------------------------------------------
+
+    def flip_bits(self, address: int, part: str, word_index: int, mask: int) -> None:
+        """XOR *mask* into one word of a sector part, behind the drive."""
+        from .sector import Header
+
+        sector = self.image.sector(address)
+        if part == "header":
+            words = sector.header.pack()
+            words[word_index] ^= mask & WORD_MASK
+            sector.header = Header.unpack(words)
+        elif part == "label":
+            words = sector.label.pack()
+            words[word_index] ^= mask & WORD_MASK
+            sector.label = Label.unpack(words)
+        elif part == "value":
+            sector.value[word_index] ^= mask & WORD_MASK
+        else:
+            raise ValueError(f"unknown part {part!r}")
+
+    # ------------------------------------------------------------------------
+    # Drive hooks
+    # ------------------------------------------------------------------------
+
+    def before_parts(self, drive, address: int, commands: dict) -> None:
+        """Command start: dead-machine check and label+value tear arming."""
+        self._require_alive()
+        from .drive import Action
+
+        self._crash_before_value = False
+        if (
+            self._tear_label_value is not None
+            and commands["label"].action is Action.WRITE
+            and commands["value"].action is Action.WRITE
+        ):
+            self._tear_label_value -= 1
+            if self._tear_label_value <= 0:
+                self._tear_label_value = None
+                self._crash_before_value = True
+
+    def before_part(self, drive, address: int, part: str, action: str) -> None:
+        """Called for every non-NONE part just before it passes the head."""
+        self._require_alive()
+        point = point_name(part, action)
+        self._point_counts[point] = self._point_counts.get(point, 0) + 1
+
+        if point in self._crash_points:
+            self._crash_points[point] -= 1
+            if self._crash_points[point] <= 0:
+                del self._crash_points[point]
+                self._crash(f"power failed at trace point {point} (address {address})")
+
+        if action == "write":
+            if self._crash_before_value and part == "value":
+                self._crash_before_value = False
+                self._crash(
+                    f"power failed between label and value writes at address {address}"
+                )
+            self.writes_seen += 1
+            if self._crash_at_write is not None and self.writes_seen >= self._crash_at_write:
+                self._crash_at_write = None
+                self._crash(
+                    f"power failed before {part} write #{self.writes_seen} "
+                    f"at address {address}"
+                )
+        else:  # read or check
+            self.reads_seen += 1
+            for burst in self._transient:
+                if burst.matches(address, part):
+                    burst.remaining -= 1
+                    if burst.remaining <= 0:
+                        self._transient.remove(burst)
+                    raise TransientReadError(
+                        f"transient {action} failure in {part} at address {address}"
+                    )
+
+    def filter_write(self, drive, address: int, part: str, data: List[int]) -> List[int]:
+        """Tear the scheduled write: a new-words prefix lands, then garbage.
+
+        The interrupted part never got its checksum laid down, so it is
+        marked checksum-bad: every later read of it raises
+        :class:`~repro.errors.SectorChecksumError` until something rewrites
+        the part (exactly how real hardware surfaces a torn write).
+        """
+        if self._tear_at_write is None or self.writes_seen < self._tear_at_write:
+            return data
+        self._tear_at_write = None
+        self.torn_writes += 1
+        keep = self.rng.randrange(0, len(data))
+        torn = list(data[:keep]) + [
+            self.rng.randrange(WORD_MASK + 1) for _ in range(len(data) - keep)
+        ]
+        sector = self.image.sector(address)
+        if part == "header":
+            from .sector import Header
+
+            sector.header = Header.unpack(torn)
+        elif part == "label":
+            sector.label = Label.unpack(torn)
+        else:
+            sector.value = torn
+        self.image.checksum_bad.add((address, part))
+        self.crashed = True
+        self.crash_reason = f"power failed during {part} write at address {address}"
+        raise TornWriteError(self.crash_reason, crash_point=self.writes_seen)
+
+    # ------------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------------
+
+    def point_count(self, point: str) -> int:
+        """Passages of a named trace point seen so far."""
+        return self._point_counts.get(check_point(point), 0)
+
+    def pending_faults(self) -> bool:
+        """Is anything still scheduled?"""
+        return bool(
+            self._crash_at_write is not None
+            or self._tear_at_write is not None
+            or self._crash_points
+            or self._tear_label_value is not None
+            or self._transient
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _require_alive(self) -> None:
+        if self.crashed:
+            raise PowerFailure(
+                f"machine is down ({self.crash_reason}); revive() to reboot",
+                crash_point=self.writes_seen,
+            )
+
+    def _crash(self, reason: str) -> None:
+        self.crashed = True
+        self.crash_reason = reason
+        raise PowerFailure(reason, crash_point=self.writes_seen)

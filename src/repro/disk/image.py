@@ -28,6 +28,10 @@ class DiskImage:
         ]
         #: Addresses the fault injector has marked as unreadable media.
         self.bad_media: set = set()
+        #: ``(address, part)`` pairs whose checksum a torn write ruined;
+        #: reads fail until the part is rewritten (real disks detect an
+        #: interrupted write this way -- the CRC never got laid down).
+        self.checksum_bad: set = set()
 
     # -- access ---------------------------------------------------------------
 
@@ -56,6 +60,7 @@ class DiskImage:
         clone.pack_id = self.pack_id
         clone._sectors = [s.copy() for s in self._sectors]
         clone.bad_media = set(self.bad_media)
+        clone.checksum_bad = set(self.checksum_bad)
         return clone
 
     def restore(self, snapshot: "DiskImage") -> None:
@@ -65,6 +70,7 @@ class DiskImage:
         self.pack_id = snapshot.pack_id
         self._sectors = [s.copy() for s in snapshot._sectors]
         self.bad_media = set(snapshot.bad_media)
+        self.checksum_bad = set(snapshot.checksum_bad)
 
     # -- statistics (used by tests and benchmarks) -------------------------------
 

@@ -14,6 +14,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+#: Named trace points: one per (part, action) pair the drive can perform.
+#: Fault plans (see :mod:`repro.disk.faults`) address crash points by these
+#: names, e.g. ``"label:write"`` = the moment a label write reaches the head.
+TRACE_POINTS = tuple(
+    f"{part}:{action}"
+    for part in ("header", "label", "value")
+    for action in ("read", "check", "write")
+)
+
+
+def point_name(part: str, action: str) -> str:
+    """The canonical trace-point name for one part action."""
+    return f"{part}:{action}"
+
+
+def check_point(name: str) -> str:
+    """Validate a trace-point name; returns it unchanged or raises."""
+    if name not in TRACE_POINTS:
+        raise ValueError(f"unknown trace point {name!r}; one of {', '.join(TRACE_POINTS)}")
+    return name
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -26,6 +47,10 @@ class TraceRecord:
 
     def did(self, part: str, action: str) -> bool:
         return (part, action) in self.actions
+
+    def points(self) -> Tuple[str, ...]:
+        """The named trace points this command passed through."""
+        return tuple(point_name(part, action) for part, action in self.actions)
 
 
 class DiskTrace:
@@ -77,6 +102,13 @@ class DiskTrace:
             for key in record.actions:
                 out[key] = out.get(key, 0) + 1
         return out
+
+    def point_counts(self) -> Dict[str, int]:
+        """How many times each named trace point was passed."""
+        return {
+            point_name(part, action): count
+            for (part, action), count in self.commands_by_part_action().items()
+        }
 
     def arm_travel(self) -> int:
         """Total cylinders of arm movement across the trace."""

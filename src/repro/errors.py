@@ -61,8 +61,59 @@ class BadSectorError(DiskError):
     """The sector is permanently bad (marked by the scavenger, section 3.5)."""
 
 
-class TornWriteError(DiskError):
-    """A simulated power failure interrupted a write mid-sector."""
+class SectorChecksumError(BadSectorError):
+    """A sector part fails its checksum: an interrupted (torn) write left it
+    half-written.  Unlike bad oxide, the part is healed by rewriting it."""
+
+    def __init__(self, address: int, part: str):
+        super().__init__(f"checksum error in {part} at address {address} (interrupted write)")
+        self.address = address
+        self.part = part
+
+
+class PowerFailure(DiskError):
+    """A simulated power failure stopped the machine.
+
+    Raised by a :class:`~repro.disk.faults.FaultPlan` at a scheduled crash
+    point; everything written before the crash point is on the platter,
+    nothing after it is.  Once raised, the plan considers the machine down:
+    further drive operations keep raising until ``revive()``.
+    """
+
+    def __init__(self, message: str, crash_point: int = -1):
+        super().__init__(message)
+        self.crash_point = crash_point
+
+
+class TornWriteError(PowerFailure):
+    """A simulated power failure interrupted a write mid-sector.
+
+    The hardware contract says a begun write continues through the sector,
+    so the interrupted part holds a prefix of new words followed by garbage.
+    """
+
+
+class TransientReadError(DiskError):
+    """A read failed for a recoverable reason (dust, marginal signal).
+
+    The drive absorbs these itself with bounded retry-with-backoff; callers
+    only ever see :class:`ReadRetriesExhausted`.
+    """
+
+
+class ReadRetriesExhausted(DiskError):
+    """Bounded retries did not clear a transient read error.
+
+    Carries the address and the number of attempts made; the last
+    :class:`TransientReadError` is chained as ``__cause__``.
+    """
+
+    def __init__(self, address: int, attempts: int):
+        super().__init__(
+            f"read at address {address} still failing after {attempts} attempts"
+        )
+        self.address = address
+        self.attempts = attempts
 
 
 # ---------------------------------------------------------------------------

@@ -2,6 +2,17 @@
 the scavenger, and the compacting scavenger."""
 
 from .allocator import PageAllocator
+from .check import (
+    Change,
+    RecoveryReport,
+    SweepResult,
+    canonical_build,
+    canonical_workload,
+    check_recovery,
+    crash_point_sweep,
+    prefix_consistent,
+    snapshot_files,
+)
 from .compactor import CompactionReport, Compactor, compact
 from .descriptor import (
     BOOT_PAGE_ADDRESS,
@@ -31,6 +42,7 @@ from .scavenger import ScavengeReport, Scavenger, SweptPage, scavenge
 __all__ = [
     "AltoFile",
     "BOOT_PAGE_ADDRESS",
+    "Change",
     "CheckReport",
     "CompactionReport",
     "Compactor",
@@ -60,17 +72,25 @@ __all__ = [
     "PageIO",
     "ROOT_DIRECTORY_NAME",
     "RUNGS",
+    "RecoveryReport",
     "SERIAL_LEASE",
     "ScavengeReport",
     "Scavenger",
+    "SweepResult",
     "SweptPage",
+    "canonical_build",
+    "canonical_workload",
     "check_image",
+    "check_recovery",
     "compact",
     "copy_all_files",
     "copy_file",
+    "crash_point_sweep",
     "duplicate_pack",
     "make_serial",
     "page_number_from_label",
+    "prefix_consistent",
     "recover_directory",
     "scavenge",
+    "snapshot_files",
 ]

@@ -118,7 +118,10 @@ class Directory:
                 serial = from_double_word(words[offset + 1], words[offset + 2])
                 version = words[offset + 3]
                 address = words[offset + 4]
-                name = words_to_string(words[offset + 5 : offset + length])
+                try:
+                    name = words_to_string(words[offset + 5 : offset + length])
+                except ValueError as exc:
+                    raise DirectoryError(f"corrupt entry name at word {offset}: {exc}") from exc
                 entry = DirEntry(name, FullName(FileId(serial, version), 0, address))
             elif etype == ENTRY_HOLE:
                 entry = None

@@ -30,15 +30,16 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..disk.drive import Action, DiskDrive, PartCommand
 from ..disk.geometry import NIL
-from ..disk.sector import Label, SERIAL_BAD, VALUE_WORDS
+from ..disk.sector import Header, Label, SERIAL_BAD, VALUE_WORDS
 from ..errors import (
     BadSectorError,
     DirectoryError,
     FileFormatError,
     FileNotFound,
     HintFailed,
+    SectorChecksumError,
 )
-from ..words import bytes_to_words, ones_words, words_to_bytes
+from ..words import bytes_to_words, ones_words, words_to_bytes, zero_words
 from .allocator import PageAllocator
 from .descriptor import (
     BOOT_PAGE_ADDRESS,
@@ -104,6 +105,8 @@ class ScavengeReport:
     garbage_labels_freed: int = 0
     duplicate_pages_freed: int = 0
     headless_chains_freed: int = 0
+    torn_sectors_reclaimed: int = 0
+    pages_reconstructed: int = 0
     truncated_files: List[Tuple[int, int, int]] = field(default_factory=list)
     links_repaired: int = 0
     ragged_last_pages: List[Tuple[int, int]] = field(default_factory=list)
@@ -125,6 +128,8 @@ class ScavengeReport:
             self.garbage_labels_freed
             + self.duplicate_pages_freed
             + self.headless_chains_freed
+            + self.torn_sectors_reclaimed
+            + self.pages_reconstructed
             + self.links_repaired
             + self.entries_fixed
             + self.entries_nulled
@@ -143,6 +148,7 @@ class Scavenger:
         # State built up across phases:
         self._pages: List[SweptPage] = []
         self._free: Set[int] = set()
+        self._value_bad: Set[int] = set()
         self._files: Dict[Tuple[int, int], Dict[int, SweptPage]] = {}
         self._allocator: Optional[PageAllocator] = None
         self._max_counter = 0
@@ -182,8 +188,27 @@ class Scavenger:
                 for sector in range(shape.sectors_per_track):
                     address = shape.compose(cylinder, head, sector)
                     labels_this_cylinder += 1
+                    # Label and value ride the same revolution; reading both
+                    # costs nothing extra and lets the controller verify the
+                    # value checksum in passing (torn writes surface here).
                     try:
-                        label = self.drive.read_label(address)
+                        result = self.drive.transfer(
+                            address,
+                            label=PartCommand(Action.READ),
+                            value=PartCommand(Action.READ),
+                        )
+                        label = Label.unpack(result.label)
+                    except SectorChecksumError as exc:
+                        if exc.part == "value":
+                            # The label still identifies the page; note the
+                            # unreadable value for the file-repair phase.
+                            label = self.drive.read_label(address)
+                            self._value_bad.add(address)
+                        else:
+                            # The page's identity itself was torn: reclaim
+                            # the sector (fresh writes lay down checksums).
+                            self._reclaim_torn(address)
+                            continue
                     except BadSectorError:
                         self.report.bad_sectors.append(address)
                         continue
@@ -273,6 +298,24 @@ class Scavenger:
                     self.report.headless_chains_freed += 1
                 del self._files[(serial, version)]
                 continue
+            # Pages whose value a torn write left unreadable: a data page's
+            # contents cannot be reinvented, so the page is freed (the file
+            # is truncated at the gap below); a leader is rebuilt in place
+            # with a synthesized name so the chain stays reachable.
+            if self._value_bad:
+                for pn in [p for p, pg in bucket.items() if pg.address in self._value_bad]:
+                    page = bucket[pn]
+                    self._value_bad.discard(page.address)
+                    if pn == 0:
+                        fresh = LeaderPage(name=f"Rescued.{serial:08x}.{version}")
+                        self.drive.transfer(
+                            page.address,
+                            value=PartCommand(Action.WRITE, fresh.pack()),
+                        )
+                        self.report.leaders_rewritten += 1
+                    else:
+                        self._free_swept(bucket.pop(pn))
+                        self.report.torn_sectors_reclaimed += 1
             # Contiguity: keep 0..k-1 up to the first gap.
             last = 0
             while last + 1 in bucket:
@@ -282,13 +325,44 @@ class Scavenger:
                 self.report.truncated_files.append((serial, version, len(dropped)))
                 for pn in dropped:
                     self._free_swept(bucket.pop(pn))
+            # A short page (L < 512) is an absolute end-of-file mark: only
+            # the change-length operation on a *last* page writes one.  A
+            # short page with successors is debris from a crash during an
+            # extension (the new page was claimed before the old last page
+            # was promoted to L = 512); freeing the successors recovers the
+            # pre-extension contents exactly.
+            short = next(
+                (pn for pn in range(1, last) if bucket[pn].length < FULL_PAGE), None
+            )
+            if short is not None:
+                debris = [pn for pn in bucket if pn > short]
+                self.report.truncated_files.append((serial, version, len(debris)))
+                for pn in debris:
+                    self._free_swept(bucket.pop(pn))
+                last = short
             if last == 0:
-                # A bare leader with no data page: free it too (an AltoFile
-                # always has at least pages 0 and 1).
-                self._free_swept(bucket.pop(0))
-                del self._files[(serial, version)]
-                self.report.headless_chains_freed += 1
-                continue
+                # A bare leader with no data page (crash mid-create, or the
+                # only data page was torn).  An AltoFile always has at least
+                # pages 0 and 1; rather than lose a named file, rebuild an
+                # empty page 1.  "We don't lose any files" (section 3.5).
+                address = self._claim_free_near(bucket[0].address)
+                if address is None:
+                    # Pack completely full: nothing to rebuild with.
+                    self._free_swept(bucket.pop(0))
+                    del self._files[(serial, version)]
+                    self.report.headless_chains_freed += 1
+                    continue
+                fid = FileId(serial, version)
+                label = fid.label_for(1, length=0, next_link=NIL, prev_link=bucket[0].address)
+                self.drive.write_header_label_value(
+                    address,
+                    Header(self.drive.image.pack_id, address),
+                    label,
+                    zero_words(VALUE_WORDS),
+                )
+                bucket[1] = SweptPage(address, serial, version, 1, 0, NIL, bucket[0].address)
+                last = 1
+                self.report.pages_reconstructed += 1
             # Links: reconstruct any that prove faulty.
             for pn in range(0, last + 1):
                 page = bucket[pn]
@@ -319,6 +393,26 @@ class Scavenger:
         self._rewrite_raw(page.address, old.pack(), new)
         page.next_link, page.prev_link = want_next, want_prev
         self.report.links_repaired += 1
+
+    def _claim_free_near(self, near: int) -> Optional[int]:
+        """Deterministically take the free sector closest to *near*."""
+        if not self._free:
+            return None
+        address = min(self._free, key=lambda a: (abs(a - near), a))
+        self._free.discard(address)
+        return address
+
+    def _reclaim_torn(self, address: int) -> None:
+        """A torn write destroyed this sector's identity; rewriting every
+        part lays down fresh checksums and returns it to the free pool."""
+        self.drive.write_header_label_value(
+            address,
+            Header(self.drive.image.pack_id, address),
+            Label.free(),
+            ones_words(VALUE_WORDS),
+        )
+        self._free.add(address)
+        self.report.torn_sectors_reclaimed += 1
 
     def _free_swept(self, page: SweptPage) -> None:
         old = Label(
@@ -398,6 +492,17 @@ class Scavenger:
                 root = Directory(self._open_swept_file(*root_key))
             except (FileFormatError, HintFailed):
                 root = self._create_root()
+            else:
+                try:
+                    root.entries()
+                except DirectoryError:
+                    # A crash tore the root's entry list mid-rewrite.  "If a
+                    # directory is destroyed, we don't lose any files, but we
+                    # do lose some information": truncate it and re-seed the
+                    # self-entry; everything it named is rescued as orphans.
+                    root.file.write_data(b"")
+                    root.add(ROOT_DIRECTORY_NAME, root.file.full_name())
+                    self.report.directories_rebuilt += 1
         if descriptor_key is None:
             self._recreate_descriptor()
         # Make the root's DiskDescriptor entry name the true descriptor now,

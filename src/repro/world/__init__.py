@@ -17,6 +17,7 @@ from .statefile import (
 )
 from .swap import (
     Halt,
+    SHADOW_SUFFIX,
     ProgramRegistry,
     SwapContext,
     Transfer,
@@ -34,6 +35,7 @@ __all__ = [
     "Machine",
     "ProgramRegistry",
     "REGISTER_COUNT",
+    "SHADOW_SUFFIX",
     "STATE_FILE_BYTES",
     "SwapContext",
     "Transfer",

@@ -40,6 +40,10 @@ from .statefile import check_message, pack_state, unpack_state
 #: Guard against runaway coroutine ping-pong in tests and examples.
 DEFAULT_MAX_TRANSFERS = 10_000
 
+#: Suffix of the shadow file :meth:`WorldSwapper.atomic_outload` writes
+#: before committing it to the real state-file name.
+SHADOW_SUFFIX = "!new"
+
 
 # ----------------------------------------------------------------------------
 # Actions a phase can end with
@@ -166,6 +170,42 @@ class WorldSwapper:
         self.outloads += 1
         return file
 
+    def atomic_outload(self, file_name: str, program: str, resume_phase: str) -> AltoFile:
+        """Crash-safe OutLoad: old state or new state, never neither.
+
+        The plain :meth:`outload` rewrites the state file in place, so a
+        crash mid-write tears it -- detected later by the state file's
+        checksums (:class:`~repro.errors.BadStateFile`), but the old state
+        is gone.  Here the new state is written *completely* to a shadow
+        file first, and only then takes over the real name; a crash at any
+        write leaves either the old file intact or the complete new state
+        (possibly still under the shadow name, where :meth:`inload` finds
+        it).  Costs roughly twice the disk traffic of a plain OutLoad --
+        that is why it is a separate call and not the default.
+        """
+        state = self.machine.capture()
+        data = pack_state(
+            state["memory"], state["registers"], program, resume_phase, state["typeahead"]
+        )
+        shadow_name = file_name + SHADOW_SUFFIX
+        try:
+            self.fs.delete_file(shadow_name)
+        except FileNotFound:
+            pass
+        shadow = self.fs.create_file(shadow_name)
+        shadow.write_data(data, now=self.fs.now())
+        # Commit: the complete new state takes over the real name.
+        try:
+            self.fs.delete_file(file_name)
+        except FileNotFound:
+            pass
+        self._files.pop(file_name, None)
+        self.fs.rename_file(shadow_name, file_name)
+        self.outloads += 1
+        file = self.fs.open_file(file_name)
+        self._files[file_name] = file
+        return file
+
     def emergency_outload(self, file_name: str, program: str) -> AltoFile:
         """The emergency bootstrap OutLoad (section 4.1): saves memory but
         "could not preserve some of the most vital state (e.g., processor
@@ -186,10 +226,23 @@ class WorldSwapper:
         """Restore the machine from a state file.
 
         Returns (program name, phase) -- the engine resumes there.  Raises
-        :class:`BadStateFile` if the image fails validation.
+        :class:`BadStateFile` if the image fails validation.  If the file
+        is missing or invalid but a complete shadow from an interrupted
+        :meth:`atomic_outload` exists, the shadow is restored instead.
         """
-        file = self.state_file(file_name, create=False)
-        memory_words, registers, program, phase, typeahead = unpack_state(file.read_data())
+        try:
+            file = self.state_file(file_name, create=False)
+            memory_words, registers, program, phase, typeahead = unpack_state(file.read_data())
+        except (FileNotFound, BadStateFile) as primary:
+            # A crash between an atomic OutLoad's commit steps can leave
+            # the complete new state only under the shadow name.
+            try:
+                shadow = self.fs.open_file(file_name + SHADOW_SUFFIX)
+                memory_words, registers, program, phase, typeahead = unpack_state(
+                    shadow.read_data()
+                )
+            except (FileNotFound, BadStateFile):
+                raise primary
         self.machine.restore(
             {"memory": memory_words, "registers": registers, "typeahead": typeahead}
         )
@@ -212,9 +265,16 @@ class SwapContext:
     program: str = ""
     transfers: int = 0
 
-    def outload(self, file_name: str, resume_phase: str) -> None:
-        """OutLoad with written=true: write our state, keep running."""
-        self.swapper.outload(file_name, self.program, resume_phase)
+    def outload(self, file_name: str, resume_phase: str, atomic: bool = False) -> None:
+        """OutLoad with written=true: write our state, keep running.
+
+        With ``atomic=True`` the crash-safe shadow-and-commit protocol is
+        used (see :meth:`WorldSwapper.atomic_outload`).
+        """
+        if atomic:
+            self.swapper.atomic_outload(file_name, self.program, resume_phase)
+        else:
+            self.swapper.outload(file_name, self.program, resume_phase)
 
     def now(self) -> int:
         return self.fs.now()

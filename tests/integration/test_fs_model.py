@@ -100,3 +100,47 @@ FileSystemMachine.TestCase.settings = settings(
     max_examples=10, stateful_step_count=12, deadline=None
 )
 TestFileSystemModel = FileSystemMachine.TestCase
+
+
+class TestSeededOpSequence:
+    """The same model comparison, driven by one long seeded random walk
+    instead of hypothesis: deterministic given --repro-seed, so it doubles
+    as a cheap regression anchor (and runs with hypothesis absent)."""
+
+    OPS = ("create", "write", "delete", "rename", "sync")
+
+    def test_long_random_walk_matches_dict_model(self, fs, rng):
+        model = {}
+        for step in range(120):
+            op = rng.choice(self.OPS)
+            name = rng.choice(NAMES)
+            if op == "create":
+                if name not in model:
+                    fs.create_file(name)
+                    model[name] = b""
+            elif op == "write":
+                if name in model:
+                    data = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 1600)))
+                    fs.open_file(name).write_data(data)
+                    model[name] = data
+            elif op == "delete":
+                if name in model:
+                    fs.delete_file(name)
+                    del model[name]
+            elif op == "rename":
+                dest = rng.choice(NAMES)
+                if name in model and dest not in model and name != dest:
+                    fs.rename_file(name, dest)
+                    model[dest] = model.pop(name)
+            elif op == "sync":
+                fs.sync()
+
+            # Compared after EVERY step, not just at the end.
+            listed = {n for n in fs.list_files() if n in NAMES}
+            assert listed == set(model), f"step {step}: {op} {name}"
+            for fname, data in model.items():
+                assert fs.open_file(fname).read_data() == data, f"step {step}"
+
+        fs.sync()
+        report = check_image(fs.drive.image)
+        assert report.clean, [str(i) for i in report.issues]
