@@ -38,6 +38,26 @@ def test_scavenge_full_disk_about_a_minute(benchmark):
     assert result.table_fits_in_memory
 
 
+def bench(profile: str = "full"):
+    """Structured entries for ``python -m repro bench`` (same measures)."""
+    if profile == "smoke":
+        shape = DiskShape(name="smoke102cyl", cylinders=102)
+        result = scavenge_loaded_disk(shape=shape, files=40)
+        name = "E1.scavenge_half_disk_smoke"
+    else:
+        result = scavenge_loaded_disk()
+        name = "E1.scavenge_full_disk"
+    return [
+        report(
+            "E1", "scavenging takes about a minute for a 2.5 MB disk",
+            f"{result.elapsed_s:.1f} simulated seconds for {result.sectors_swept} sectors",
+            name=name, simulated_seconds=result.elapsed_s, cached=False,
+            sectors=result.sectors_swept, files_found=result.files_found,
+        )
+    ]
+
+
+@pytest.mark.slow
 def test_scavenge_scales_with_disk_size(benchmark):
     def sweep():
         times = {}

@@ -38,6 +38,28 @@ def test_64k_words_in_about_a_second(benchmark):
     assert 0.7 < seconds < 1.3
 
 
+def bench(profile: str = "full"):
+    """Structured entries for ``python -m repro bench`` (same measures)."""
+    small_s = sequential_read_seconds(diablo31())
+    results = [
+        report(
+            "E6", "the disk can transfer 64k words in about one second",
+            f"{small_s:.2f}s for 64k words",
+            name="E6.sequential_read_64k", simulated_seconds=small_s,
+            cached=False, words_per_second=WORDS_64K / small_s,
+        )
+    ]
+    if profile != "smoke":
+        big_s = sequential_read_seconds(diablo44())
+        results.append(report(
+            "E6b", "the big disk is about twice as fast",
+            f"{big_s:.2f}s for 64k words on the big disk",
+            name="E6b.sequential_read_64k_big_disk", simulated_seconds=big_s,
+            cached=False, speed_ratio=small_s / big_s,
+        ))
+    return results
+
+
 def test_big_disk_twice_the_performance(benchmark):
     """Section 2: the other disk has "about twice the size and
     performance"."""

@@ -42,6 +42,19 @@ def measure():
     return create_s, outload_s, inload_s
 
 
+def bench(profile: str = "full"):
+    """Structured entries for ``python -m repro bench`` (same measures)."""
+    create_s, outload_s, inload_s = measure()
+    return [
+        report(
+            "E5", "OutLoad and InLoad each require about a second",
+            f"OutLoad {outload_s:.2f}s, InLoad {inload_s:.2f}s",
+            name="E5.outload_steady_state", simulated_seconds=outload_s,
+            cached=False, inload_s=inload_s, first_outload_s=create_s,
+        )
+    ]
+
+
 def test_world_swap_about_a_second(benchmark):
     create_s, outload_s, inload_s = benchmark.pedantic(measure, rounds=1, iterations=1)
     benchmark.extra_info.update(

@@ -3,20 +3,80 @@
 Every benchmark prints a `paper vs measured` table row and asserts the
 claim's *shape* (who wins, rough factor).  Absolute simulated numbers are
 deterministic model outputs, so the assertions are hard, not flaky.
+
+Results are also structured: :func:`report` returns a :class:`BenchResult`,
+and each ``bench_*.py`` module exposes ``bench(profile)`` returning a list
+of them, built from the *same* measure functions the pytest tests call.
+``python -m repro bench`` (see :mod:`repro.bench`) collects these into
+``BENCH_PR2.json`` and enforces the checked-in baselines.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.disk import DiskDrive, DiskImage, DiskShape, FaultInjector, diablo31
 from repro.fs import FileSystem, Scavenger
 
 
-def report(experiment: str, claim: str, measured: str, verdict: str = "matches") -> None:
+@dataclass
+class BenchResult:
+    """One benchmark measurement, machine-readable.
+
+    ``simulated_seconds`` is the regression-tracked quantity: it is a
+    deterministic output of the timing model, so any drift is a real
+    performance change, not noise.  ``cached`` records whether the run used
+    the write-back cache (``None``: not applicable).
+    """
+
+    name: str
+    experiment: str
+    simulated_seconds: float
+    cached: Optional[bool] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+    claim: str = ""
+    measured: str = ""
+    verdict: str = "matches"
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "experiment": self.experiment,
+            "simulated_seconds": self.simulated_seconds,
+            "cached": self.cached,
+            "metrics": self.metrics,
+            "claim": self.claim,
+            "measured": self.measured,
+            "verdict": self.verdict,
+        }
+
+
+def report(
+    experiment: str,
+    claim: str,
+    measured: str,
+    verdict: str = "matches",
+    *,
+    name: Optional[str] = None,
+    simulated_seconds: float = 0.0,
+    cached: Optional[bool] = None,
+    **metrics: float,
+) -> BenchResult:
+    """Print the `paper vs measured` row and return it as a record."""
     print(f"\n[{experiment}] paper: {claim}")
     print(f"[{experiment}] measured: {measured}  ({verdict})")
+    return BenchResult(
+        name=name or experiment,
+        experiment=experiment,
+        simulated_seconds=simulated_seconds,
+        cached=cached,
+        metrics=dict(metrics),
+        claim=claim,
+        measured=measured,
+        verdict=verdict,
+    )
 
 
 def populated_disk(

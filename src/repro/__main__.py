@@ -9,7 +9,14 @@ library calls.
 ``python -m repro crashtest`` instead runs the exhaustive crash-point
 sweep: the canonical workload is crashed at every sector part-write (or
 torn there, with ``--tear``), the Scavenger recovers the pack, and every
-recovery invariant is checked (see :mod:`repro.fs.check`).
+recovery invariant is checked (see :mod:`repro.fs.check`).  With
+``--cached`` the workload runs on the write-back
+:class:`~repro.disk.cache.CachedDrive`, so crashes also land inside flush
+drains and lose whatever the cache had buffered.
+
+``python -m repro bench`` runs the benchmark regression harness (see
+:mod:`repro.bench`): every ``benchmarks/bench_*.py`` measure, compared
+against checked-in baselines, reported as ``BENCH_PR2.json``.
 """
 
 from __future__ import annotations
@@ -50,6 +57,9 @@ def crashtest(argv) -> int:
     parser.add_argument("--tear", action="store_true",
                         help="tear each write (prefix + garbage, checksum ruined) "
                              "instead of crashing cleanly before it")
+    parser.add_argument("--cached", action="store_true",
+                        help="run the workload on the write-back CachedDrive, so "
+                             "crashes also hit flush drains and buffered data is lost")
     parser.add_argument("--points", metavar="N[,N...]",
                         help="sweep only these crash points (default: all)")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -68,6 +78,12 @@ def crashtest(argv) -> int:
         print(f"  {'tear' if args.tear else 'crash'}@{report.crash_point}: {status}"
               f"  ({report.crash_reason})")
 
+    make_drive = None
+    if args.cached:
+        from .disk import CachedDrive
+
+        make_drive = lambda image, plan: CachedDrive(image, fault_injector=plan)
+
     try:
         result = crash_point_sweep(
             canonical_build(args.seed, cylinders=args.cylinders),
@@ -76,6 +92,7 @@ def crashtest(argv) -> int:
             points=points,
             tear=args.tear,
             on_point=narrate if args.verbose else None,
+            make_drive=make_drive,
         )
     except ValueError as exc:  # e.g. a crash point outside 1..total
         parser.error(str(exc))
@@ -84,7 +101,8 @@ def crashtest(argv) -> int:
         print(f"FAIL {failure}")
     if result.failures:
         print(f"replay one point with: python -m repro crashtest --seed {args.seed}"
-              f"{' --tear' if args.tear else ''} --points <N> -v")
+              f"{' --tear' if args.tear else ''}{' --cached' if args.cached else ''}"
+              f" --points <N> -v")
     return 0 if result.ok else 1
 
 
@@ -93,6 +111,10 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "crashtest":
         return crashtest(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive Executive on a simulated Alto (SOSP 1979 reproduction)",

@@ -1,0 +1,173 @@
+"""The benchmark regression harness: ``python -m repro bench``.
+
+Runs every ``benchmarks/bench_*.py`` module that exposes a
+``bench(profile)`` function, collects the :class:`BenchResult` records they
+return (the same measure functions the pytest benchmarks call), and writes
+a machine-readable report (default ``BENCH_PR2.json``) with simulated
+seconds, cache on/off, and hit rates.
+
+Simulated time is a deterministic output of the timing model, so the
+checked-in ``benchmarks/baselines.json`` is exact, not statistical: a
+result more than ``--tolerance`` (default 20%) *slower* than its baseline
+fails the run.  ``--update-baselines`` rewrites the baseline file from the
+current run (do this when a deliberate change moves the numbers, and say
+why in the commit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+DEFAULT_TOLERANCE = 0.20
+DEFAULT_OUTPUT = "BENCH_PR2.json"
+BASELINES_NAME = "baselines.json"
+
+
+def find_benchmarks_dir(start: Optional[Path] = None) -> Path:
+    """The repository's ``benchmarks/`` directory.
+
+    Looked up relative to this file (source checkout) and then upward from
+    the working directory, so the harness runs from any subdirectory.
+    """
+    candidates = [Path(__file__).resolve().parents[2] / "benchmarks"]
+    here = (start or Path.cwd()).resolve()
+    candidates.extend(parent / "benchmarks" for parent in [here, *here.parents])
+    for candidate in candidates:
+        if candidate.is_dir() and list(candidate.glob("bench_*.py")):
+            return candidate
+    raise FileNotFoundError("no benchmarks/ directory with bench_*.py found")
+
+
+def load_bench_modules(bench_dir: Path) -> List[object]:
+    """Import every ``bench_*.py`` file (with ``paper.py`` importable)."""
+    modules = []
+    sys.path.insert(0, str(bench_dir))  # the modules do `from paper import ...`
+    try:
+        for path in sorted(bench_dir.glob("bench_*.py")):
+            spec = importlib.util.spec_from_file_location(f"repro_bench_{path.stem}", path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            modules.append(module)
+    finally:
+        sys.path.remove(str(bench_dir))
+    return modules
+
+
+def run_benchmarks(profile: str, only: Optional[str] = None, bench_dir: Optional[Path] = None):
+    """Run all ``bench(profile)`` hooks; returns a list of BenchResult."""
+    bench_dir = bench_dir or find_benchmarks_dir()
+    results = []
+    for module in load_bench_modules(bench_dir):
+        hook = getattr(module, "bench", None)
+        if hook is None:
+            continue
+        name = Path(module.__file__).stem
+        if only and only not in name:
+            continue
+        print(f"== {name} (profile={profile}) ==")
+        results.extend(hook(profile))
+    return results
+
+
+def compare_to_baselines(
+    results, baselines: Dict[str, float], tolerance: float
+) -> Dict[str, dict]:
+    """Per-result regression verdicts against the exact baselines.
+
+    Only slowdowns fail; a speedup (or a result with no baseline yet) is
+    reported but never an error -- new benchmarks get baselines when they
+    are deliberately checked in.
+    """
+    comparison: Dict[str, dict] = {}
+    for result in results:
+        baseline = baselines.get(result.name)
+        entry = {
+            "measured_s": result.simulated_seconds,
+            "baseline_s": baseline,
+            "ok": True,
+        }
+        if baseline is not None and baseline > 0:
+            ratio = result.simulated_seconds / baseline
+            entry["ratio"] = round(ratio, 4)
+            entry["ok"] = ratio <= 1.0 + tolerance
+        comparison[result.name] = entry
+    return comparison
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the paper-claim benchmarks and enforce regression baselines",
+    )
+    parser.add_argument("--profile", choices=("full", "smoke"), default="full",
+                        help="smoke: smaller packs for CI; full: the paper-scale runs")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baselines", default=None,
+                        help=f"baseline file (default benchmarks/{BASELINES_NAME})")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown fraction before failing (default 0.20)")
+    parser.add_argument("--only", metavar="SUBSTR",
+                        help="run only bench modules whose name contains SUBSTR")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite the baseline file from this run instead of checking")
+    args = parser.parse_args(argv)
+
+    bench_dir = find_benchmarks_dir()
+    baselines_path = Path(args.baselines) if args.baselines else bench_dir / BASELINES_NAME
+
+    results = run_benchmarks(args.profile, only=args.only, bench_dir=bench_dir)
+    if not results:
+        print("no benchmark results collected")
+        return 1
+
+    all_baselines: Dict[str, Dict[str, float]] = {}
+    if baselines_path.exists():
+        all_baselines = json.loads(baselines_path.read_text())
+    baselines = all_baselines.get(args.profile, {})
+
+    if args.update_baselines:
+        all_baselines[args.profile] = {
+            r.name: r.simulated_seconds for r in results
+        }
+        baselines_path.write_text(json.dumps(all_baselines, indent=2, sort_keys=True) + "\n")
+        print(f"baselines updated: {baselines_path} ({len(results)} entries, "
+              f"profile {args.profile})")
+        comparison = compare_to_baselines(results, all_baselines[args.profile], args.tolerance)
+    else:
+        comparison = compare_to_baselines(results, baselines, args.tolerance)
+
+    regressions = [name for name, entry in comparison.items() if not entry["ok"]]
+    report = {
+        "profile": args.profile,
+        "tolerance": args.tolerance,
+        "results": [r.to_json() for r in results],
+        "baseline_comparison": comparison,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\n{len(results)} results -> {args.output}")
+    for result in results:
+        entry = comparison[result.name]
+        flag = "" if entry["ok"] else "  << REGRESSION"
+        base = (f" (baseline {entry['baseline_s']:.3f}s, x{entry['ratio']:.2f})"
+                if entry.get("ratio") is not None else " (no baseline)")
+        cached = {True: " cache=on", False: " cache=off", None: ""}[result.cached]
+        print(f"  {result.name}: {result.simulated_seconds:.3f}s{cached}{base}{flag}")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

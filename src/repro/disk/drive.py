@@ -352,9 +352,16 @@ class DiskDrive:
             # Once a write begins it must continue through the sector, so a
             # label rewrite alone still rewrites the value with its current
             # contents (the hardware streams it back out).
-            current = self.image.sector(address).value
-            parts["value"] = PartCommand(Action.WRITE, list(current))
+            parts["value"] = PartCommand(Action.WRITE, self.current_value(address))
         self.transfer(address, **parts)
+
+    def current_value(self, address: int) -> List[int]:
+        """The logically current data words of *address* -- what a value
+        READ through this drive would return.  The plain drive answers from
+        the platter; a caching drive (:class:`repro.disk.cache.CachedDrive`)
+        answers from its buffer when a write is pending, so a label rewrite
+        that streams the value back out never resurrects stale words."""
+        return list(self.image.sector(address).value)
 
     def write_header_label_value(
         self, address: int, header: Header, label: Label, value: Sequence[int]

@@ -123,6 +123,7 @@ class PageAllocator:
     def release(self, page_io: PageIO, name) -> None:
         """Free a page on disk (ones into label and value), then in the map."""
         page_io.release(name)
+        page_io.invalidate(name.address)  # a freed page earns no cache space
         self.mark_free(name.address)
 
     # ------------------------------------------------------------------------

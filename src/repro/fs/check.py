@@ -289,6 +289,7 @@ def crash_point_sweep(
     points: Optional[Sequence[int]] = None,
     tear: bool = False,
     on_point: Optional[Callable[[RecoveryReport], None]] = None,
+    make_drive: Optional[Callable[[DiskImage, FaultPlan], DiskDrive]] = None,
 ) -> SweepResult:
     """Crash the workload at every part-write and verify recovery each time.
 
@@ -299,7 +300,17 @@ def crash_point_sweep(
     crash point -- write N with a clean power failure (or, with ``tear``, a
     torn write) injected there -- and runs :func:`check_recovery` on the
     wreckage.  Deterministic given (*build*, *workload*, *seed*).
+
+    *make_drive* builds the drive the workload runs on (default: a plain
+    :class:`DiskDrive`).  Passing a :class:`~repro.disk.cache.CachedDrive`
+    factory sweeps the same workload with write-back caching in play --
+    crash points then fall inside flush drains too, and any buffered data
+    alive at the crash is lost exactly as a real power failure would lose
+    it.  Recovery always runs on a fresh uncached drive: the platter is all
+    that survives.
     """
+    if make_drive is None:
+        make_drive = lambda img, plan: DiskDrive(img, fault_injector=plan)
     image, fs = build()
     baseline = image.snapshot()
     before = snapshot_files(fs)
@@ -307,7 +318,7 @@ def crash_point_sweep(
     # Pass 1: count part-writes over the same mount-then-run path the
     # replays take (no faults scheduled), so crash points line up exactly.
     plan = FaultPlan(image, seed=seed)
-    changes = workload(FileSystem.mount(DiskDrive(image, fault_injector=plan)))
+    changes = workload(FileSystem.mount(make_drive(image, plan)))
     total = plan.writes_seen
 
     result = SweepResult(total_writes=total)
@@ -321,7 +332,7 @@ def crash_point_sweep(
             plan.tear_at_write(n)
         else:
             plan.crash_at_write(n)
-        drive = DiskDrive(image, fault_injector=plan)
+        drive = make_drive(image, plan)
         reason = ""
         try:
             workload(FileSystem.mount(drive))

@@ -223,6 +223,9 @@ class AltoFile:
             if page_number == 0:
                 raise  # the leader hint comes from outside; let the ladder act
             self._forget(page_number)
+            # A stale address hint may be mirrored by a stale sector-cache
+            # entry on a caching drive; both are hints, both get dropped.
+            self.page_io.invalidate(name.address)
             return operation(self.page_name(page_number))
 
     # ------------------------------------------------------------------------

@@ -55,6 +55,10 @@ class FileSystem:
         self.root = root
         self._counter = serial_counter
         self._lease = serial_lease
+        # On a caching drive, keep the two hot singletons resident: the
+        # descriptor leader at its standard address and the root leader.
+        self.page_io.pin(DESCRIPTOR_LEADER_ADDRESS)
+        self.page_io.pin(root.full_name().address)
 
     # ------------------------------------------------------------------------
     # Formatting and mounting
@@ -185,6 +189,13 @@ class FileSystem:
             free_map_words=self.allocator.pack(),
         )
         self.descriptor_file.write_data(words_to_bytes(descriptor.pack()))
+        self.flush()
+
+    def flush(self) -> int:
+        """Write back any buffered data writes (write-back cache); a no-op
+        on a plain drive.  Returns the number of sectors written back."""
+        flush = getattr(self.drive, "flush", None)
+        return flush() if flush is not None else 0
 
     # ------------------------------------------------------------------------
     # File operations by name

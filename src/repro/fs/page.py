@@ -155,7 +155,7 @@ class PageIO:
             self.drive.transfer(
                 name.address,
                 label=PartCommand(Action.WRITE, new_label.pack()),
-                value=PartCommand(Action.WRITE, list(self.drive.image.sector(name.address).value)),
+                value=PartCommand(Action.WRITE, self.drive.current_value(name.address)),
             )
             return new_label
         except (LabelCheckError, AddressOutOfRange) as exc:
@@ -188,6 +188,21 @@ class PageIO:
                 current = prev
             label = self.read_label(current)
         return current
+
+    # -- cache passthroughs (no-ops on a plain drive) -----------------------------
+
+    def invalidate(self, address: int) -> None:
+        """Tell a caching drive that *address*'s cached copy is moot (the
+        page was freed, or its hint proved stale)."""
+        invalidate = getattr(self.drive, "invalidate", None)
+        if invalidate is not None:
+            invalidate(address)
+
+    def pin(self, address: int) -> None:
+        """Keep *address* resident in a caching drive (hot singletons)."""
+        pin = getattr(self.drive, "pin", None)
+        if pin is not None:
+            pin(address)
 
     @staticmethod
     def _require_hint(name: FullName) -> None:

@@ -161,6 +161,12 @@ class Scavenger:
     def scavenge(self) -> ScavengeReport:
         """Run the full pass; afterwards ``FileSystem.mount`` succeeds."""
         watch = self.drive.clock.stopwatch()
+        # The sweep reads absolutes; a write-back cache on this drive must
+        # first put the platter in its logically current state and then get
+        # out of the way (every cached copy is just a hint).
+        settle = getattr(self.drive, "flush_and_invalidate", None)
+        if settle is not None:
+            settle()
         self._sweep()
         self._sort_and_group()
         self._repair_files()
@@ -169,6 +175,10 @@ class Scavenger:
         referenced = self._verify_directories(root)
         self._rescue_orphans(root, referenced)
         self._rewrite_descriptor(root)
+        # Recovery is only recovery if it survives the next crash: push the
+        # scavenger's own repairs out of any write-back buffer.
+        if settle is not None:
+            settle()
         self.report.elapsed_s = watch.elapsed_s
         self.report.breakdown_ms = watch.breakdown_ms()
         return self.report
@@ -436,7 +446,7 @@ class Scavenger:
         """Check a label against the exact words we swept, then rewrite it
         (and optionally the value).  Two passes: the free/repair revolution."""
         self.drive.transfer(address, label=PartCommand(Action.CHECK, list(expected_words)))
-        value = new_value if new_value is not None else self.drive.image.sector(address).value
+        value = new_value if new_value is not None else self.drive.current_value(address)
         self.drive.transfer(
             address,
             label=PartCommand(Action.WRITE, new_label.pack()),

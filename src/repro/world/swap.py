@@ -194,6 +194,9 @@ class WorldSwapper:
             pass
         shadow = self.fs.create_file(shadow_name)
         shadow.write_data(data, now=self.fs.now())
+        # The shadow must be *durably* complete before the old state is
+        # destroyed: on a write-back drive its data may still be buffered.
+        self.fs.flush()
         # Commit: the complete new state takes over the real name.
         try:
             self.fs.delete_file(file_name)
@@ -201,6 +204,7 @@ class WorldSwapper:
             pass
         self._files.pop(file_name, None)
         self.fs.rename_file(shadow_name, file_name)
+        self.fs.flush()
         self.outloads += 1
         file = self.fs.open_file(file_name)
         self._files[file_name] = file

@@ -12,7 +12,14 @@ import random
 import pytest
 
 from repro.clock import SimClock
-from repro.disk import DiskDrive, DiskImage, FaultInjector, FaultPlan, tiny_test_disk
+from repro.disk import (
+    CachedDrive,
+    DiskDrive,
+    DiskImage,
+    FaultInjector,
+    FaultPlan,
+    tiny_test_disk,
+)
 from repro.fs import FileSystem
 
 try:
@@ -81,6 +88,16 @@ def fs(drive):
 
 
 @pytest.fixture
+def cached_drive(image):
+    return CachedDrive(image)
+
+
+@pytest.fixture
+def cached_fs(cached_drive):
+    return FileSystem.format(cached_drive)
+
+
+@pytest.fixture
 def injector(image, repro_seed):
     return FaultInjector(image, seed=repro_seed)
 
@@ -103,14 +120,18 @@ def crash_sweeper(repro_seed):
     --repro-seed so every failure is replayable."""
     from repro.fs.check import canonical_build, canonical_workload, crash_point_sweep
 
-    def sweep(points=None, tear=False, seed=None, cylinders=20):
+    def sweep(points=None, tear=False, seed=None, cylinders=20, cached=False):
         chosen = repro_seed if seed is None else seed
+        make_drive = None
+        if cached:
+            make_drive = lambda image, plan: CachedDrive(image, fault_injector=plan)
         return crash_point_sweep(
             canonical_build(chosen, cylinders=cylinders),
             canonical_workload(chosen),
             seed=chosen,
             points=points,
             tear=tear,
+            make_drive=make_drive,
         )
 
     return sweep

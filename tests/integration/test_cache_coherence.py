@@ -1,0 +1,174 @@
+"""Whole-file-system coherence: cached and uncached mounts are equivalent.
+
+The drive-level equivalence tests (tests/disk/test_cache_props.py) prove
+the cache honours individual commands; these tests prove the property the
+file system actually needs: a random workload of creates, writes, reads,
+renames, and deletes produces *byte-identical packs* on a cached and an
+uncached mount once both have synced, and every read along the way returns
+the same bytes.
+
+One subtlety: leader pages stamp creation/write/read dates from the
+simulated clock, and the whole point of the cache is that its clock runs
+faster.  Each workload step therefore re-aligns both clocks to the next
+whole simulated second before acting, so date words agree and "identical"
+really means identical -- any residual diff is a coherence bug, not a
+timestamp artifact.
+"""
+
+import pytest
+
+from repro.disk import CachedDrive, DiskDrive, DiskImage, tiny_test_disk
+from repro.fs import FileSystem, Scavenger
+from repro.fs.fsck import check_image
+
+try:
+    from hypothesis import HealthCheck, given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+pytestmark = pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+
+NAMES = [f"f{i}.dat" for i in range(8)]
+SECOND_US = 1_000_000
+
+
+def align_clocks(*drives) -> None:
+    """Advance every drive's clock to the same next-second boundary."""
+    target = max(d.clock.now_us for d in drives)
+    target = (target // SECOND_US + 1) * SECOND_US
+    for d in drives:
+        d.clock.advance_us(target - d.clock.now_us, "align")
+
+
+def payload_for(seed: int) -> bytes:
+    return bytes((seed * 31 + i) & 0xFF for i in range((seed * 97) % 2600))
+
+
+def images_identical(a: DiskImage, b: DiskImage):
+    """Return the first differing sector address, or None if identical."""
+    for s1, s2 in zip(a.sectors(), b.sectors()):
+        if (
+            s1.header.pack() != s2.header.pack()
+            or s1.label.pack() != s2.label.pack()
+            or list(s1.value) != list(s2.value)
+        ):
+            return s1.header.address
+    return None
+
+
+# A workload step: (kind, name-index, name-index-2, payload-seed).
+op_strategy = st.tuples(
+    st.sampled_from(["create", "rewrite", "read", "delete", "rename", "sync"]),
+    st.sampled_from(range(len(NAMES))),
+    st.sampled_from(range(len(NAMES))),
+    st.integers(min_value=1, max_value=999),
+)
+
+
+def apply_op(fs: FileSystem, op, live: set):
+    """Apply one step; mutates *live* (the same decision path on any mount
+    because *live* is shared per-mount state that evolves identically)."""
+    kind, idx, idx2, seed = op
+    name, other = NAMES[idx], NAMES[idx2]
+    if kind == "create" and name not in live:
+        fs.create_file(name).write_data(payload_for(seed))
+        live.add(name)
+    elif kind == "rewrite" and name in live:
+        fs.open_file(name).write_data(payload_for(seed + 1))
+    elif kind == "read" and name in live:
+        return fs.open_file(name).read_data()
+    elif kind == "delete" and name in live:
+        fs.delete_file(name)
+        live.discard(name)
+    elif kind == "rename" and name in live and other not in live and name != other:
+        fs.rename_file(name, other)
+        live.discard(name)
+        live.add(other)
+    elif kind == "sync":
+        fs.sync()
+    return None
+
+
+class TestMountCoherence:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=25))
+    def test_random_workload_packs_identical_after_sync(self, ops):
+        plain_image = DiskImage(tiny_test_disk(cylinders=30))
+        cached_image = DiskImage(tiny_test_disk(cylinders=30))
+        plain_drive = DiskDrive(plain_image)
+        cached_drive = CachedDrive(cached_image, cache_sectors=32)
+
+        align_clocks(plain_drive, cached_drive)
+        plain_fs = FileSystem.format(plain_drive)
+        cached_fs = FileSystem.format(cached_drive)
+
+        plain_live, cached_live = set(), set()
+        for op in ops:
+            align_clocks(plain_drive, cached_drive)
+            plain_seen = apply_op(plain_fs, op, plain_live)
+            cached_seen = apply_op(cached_fs, op, cached_live)
+            assert plain_seen == cached_seen, f"read diverged at {op}"
+        assert plain_live == cached_live
+
+        align_clocks(plain_drive, cached_drive)
+        plain_fs.sync()
+        cached_fs.sync()
+        diff = images_identical(plain_image, cached_image)
+        assert diff is None, f"packs differ first at sector {diff}"
+        assert len(cached_drive.scheduler) == 0
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=20))
+    def test_sync_makes_cached_state_durable_for_foreign_mounts(self, ops):
+        """After sync(), a cold uncached mount of the same image -- the
+        moral equivalent of pulling the pack and spinning it up elsewhere --
+        sees every file and every byte the cached mount saw."""
+        image = DiskImage(tiny_test_disk(cylinders=30))
+        fs = FileSystem.format(CachedDrive(image, cache_sectors=32))
+        live = set()
+        for op in ops:
+            apply_op(fs, op, live)
+        fs.sync()
+
+        foreign = FileSystem.mount(DiskDrive(image))
+        assert set(foreign.list_files()) >= live
+        for name in live:
+            assert (
+                foreign.open_file(name).read_data()
+                == fs.open_file(name).read_data()
+            ), name
+
+    def test_scavenge_settles_the_cache_first(self, cached_fs):
+        """Scavenging through a cached drive flushes and drops the cache
+        before sweeping, so it judges the platter, not the buffer -- and the
+        image it leaves behind is fully consistent."""
+        payloads = {}
+        for i in range(6):
+            name = f"s{i}.dat"
+            data = payload_for(i + 1)
+            cached_fs.create_file(name).write_data(data)
+            payloads[name] = data
+        cached_fs.sync()
+        drive = cached_fs.drive
+        # Dirty the cache again so the scavenger has something to settle.
+        cached_fs.open_file("s1.dat").write_data(b"rewritten under cache")
+        payloads["s1.dat"] = b"rewritten under cache"
+
+        Scavenger(drive).scavenge()
+        assert not list(drive.dirty_addresses())
+
+        fsck = check_image(drive.image)
+        assert not fsck.issues, [str(i) for i in fsck.issues]
+        remounted = FileSystem.mount(DiskDrive(drive.image))
+        for name, data in payloads.items():
+            assert remounted.open_file(name).read_data() == data
