@@ -39,6 +39,7 @@ class BenchResult:
     claim: str = ""
     measured: str = ""
     verdict: str = "matches"
+    obs: Dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -50,6 +51,7 @@ class BenchResult:
             "claim": self.claim,
             "measured": self.measured,
             "verdict": self.verdict,
+            "obs": self.obs,
         }
 
 
@@ -64,7 +66,15 @@ def report(
     cached: Optional[bool] = None,
     **metrics: float,
 ) -> BenchResult:
-    """Print the `paper vs measured` row and return it as a record."""
+    """Print the `paper vs measured` row and return it as a record.
+
+    Under ``python -m repro bench`` (which turns on
+    :func:`repro.obs.runtime.retain_stats`) every row also carries the
+    merged metrics snapshot of all clocks created since the previous row;
+    under pytest retention is off and ``obs`` stays empty.
+    """
+    from repro.obs import runtime as obs_runtime
+
     print(f"\n[{experiment}] paper: {claim}")
     print(f"[{experiment}] measured: {measured}  ({verdict})")
     return BenchResult(
@@ -76,6 +86,7 @@ def report(
         claim=claim,
         measured=measured,
         verdict=verdict,
+        obs=obs_runtime.drain_stats(),
     )
 
 

@@ -11,6 +11,7 @@ The package is organized the way the paper organizes the system:
 * :mod:`repro.world`   -- InLoad/OutLoad world swapping (section 4)
 * :mod:`repro.os`      -- Junta levels, loader, Executive (section 5)
 * :mod:`repro.net`     -- the packet network and printing server (section 4)
+* :mod:`repro.obs`     -- simulated-time spans, metrics, trace export
 
 The top level re-exports the objects a typical user needs; every smaller
 component stays importable from its subpackage -- the openness principle
@@ -18,8 +19,9 @@ the paper is about.  See README.md for a quickstart and DESIGN.md for the
 complete inventory.
 """
 
-from . import errors
+from . import errors, obs
 from .clock import SimClock
+from .obs import MetricsRegistry, Observability, Tracer
 from .disk import (
     DiskDrive,
     DiskImage,
@@ -86,11 +88,14 @@ __all__ = [
     "KthPageHints",
     "Machine",
     "Memory",
+    "MetricsRegistry",
+    "Observability",
     "ProgramRegistry",
     "Region",
     "Scavenger",
     "SimClock",
     "Stream",
+    "Tracer",
     "Transfer",
     "WorldEngine",
     "WorldProgram",
@@ -103,6 +108,7 @@ __all__ = [
     "diablo44",
     "errors",
     "hardware_boot",
+    "obs",
     "open_read_stream",
     "open_write_stream",
     "read_string",

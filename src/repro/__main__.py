@@ -17,6 +17,12 @@ drains and lose whatever the cache had buffered.
 ``python -m repro bench`` runs the benchmark regression harness (see
 :mod:`repro.bench`): every ``benchmarks/bench_*.py`` measure, compared
 against checked-in baselines, reported as ``BENCH_PR2.json``.
+
+``python -m repro stats`` runs a scripted session and prints the unified
+metrics snapshot (see :mod:`repro.obs`); ``--trace out.json`` on the REPL,
+``crashtest``, and ``bench`` subcommands additionally records simulated-time
+spans and writes them as Chrome ``trace_event`` JSON (open in Perfetto).
+See OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -42,6 +48,65 @@ def build_demo(os: AltoOS) -> None:
     )
 
 
+def _write_repl_trace(path: str, drive) -> None:
+    from .obs import write_trace
+
+    obs = drive.clock.obs
+    trace = write_trace(path, [("alto", obs.tracer)], stats=obs.stats())
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(f"[trace written to {path}: {spans} spans]")
+
+
+def stats_cmd(argv) -> int:
+    """The ``stats`` subcommand: run a session, print the unified snapshot."""
+    import json as _json
+
+    from .disk import CachedDrive
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="Run a scripted session and print the unified metrics snapshot",
+    )
+    parser.add_argument("--script", metavar="TEXT",
+                        default="ls; write note.txt hello; type note.txt; free; scavenge",
+                        help=";-separated Executive commands to run first")
+    parser.add_argument("--cached", action="store_true",
+                        help="run on the write-back CachedDrive")
+    parser.add_argument("--json", action="store_true",
+                        help="print the snapshot as JSON instead of a table")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="also record spans and write a Chrome trace JSON")
+    args = parser.parse_args(argv)
+
+    image = DiskImage(diablo31())
+    drive = CachedDrive(image) if args.cached else DiskDrive(image)
+    if args.trace:
+        drive.clock.obs.enable_tracing()
+    os = AltoOS.format(drive)
+    build_demo(os)
+    script = "\n".join(part.strip() for part in args.script.split(";")) + "\nquit\n"
+    os.run_executive(script)
+
+    stats = drive.clock.obs.stats()
+    if args.json:
+        print(_json.dumps(stats, indent=1, sort_keys=True))
+    else:
+        width = max(len(name) for name in stats)
+        group = None
+        for name in sorted(stats):
+            prefix = name.split(".", 1)[0]
+            if prefix != group:
+                if group is not None:
+                    print()
+                group = prefix
+            value = stats[name]
+            shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+            print(f"  {name:<{width}}  {shown}")
+    if args.trace:
+        _write_repl_trace(args.trace, drive)
+    return 0
+
+
 def crashtest(argv) -> int:
     """The ``crashtest`` subcommand: sweep every crash point and verify."""
     from .fs.check import canonical_build, canonical_workload, crash_point_sweep
@@ -64,6 +129,9 @@ def crashtest(argv) -> int:
                         help="sweep only these crash points (default: all)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every crash point as it is checked")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record spans from every clock in the sweep and "
+                             "write one merged Chrome trace JSON")
     args = parser.parse_args(argv)
 
     points = None
@@ -84,6 +152,10 @@ def crashtest(argv) -> int:
 
         make_drive = lambda image, plan: CachedDrive(image, fault_injector=plan)
 
+    if args.trace:
+        from .obs import runtime as obs_runtime
+
+        obs_runtime.enable_trace_all()
     try:
         result = crash_point_sweep(
             canonical_build(args.seed, cylinders=args.cylinders),
@@ -96,6 +168,16 @@ def crashtest(argv) -> int:
         )
     except ValueError as exc:  # e.g. a crash point outside 1..total
         parser.error(str(exc))
+    if args.trace:
+        import json as _json
+
+        trace = obs_runtime.collect_trace()
+        obs_runtime.disable_trace_all()
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            _json.dump(trace, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+        print(f"[trace written to {args.trace}: {spans} spans]")
     print(result.summary())
     for failure in result.failures:
         print(f"FAIL {failure}")
@@ -111,6 +193,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "crashtest":
         return crashtest(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_cmd(argv[1:])
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
 
@@ -124,10 +208,16 @@ def main(argv=None) -> int:
         "--script", metavar="TEXT",
         help="run these ;-separated commands instead of reading stdin",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record simulated-time spans and write a Chrome trace JSON on exit",
+    )
     args = parser.parse_args(argv)
 
     image = DiskImage(diablo31())
     drive = DiskDrive(image)
+    if args.trace:
+        drive.clock.obs.enable_tracing()
     os = AltoOS.format(drive)
     if args.demo:
         build_demo(os)
@@ -142,6 +232,8 @@ def main(argv=None) -> int:
         print(output)
         print(f"[simulated time: {drive.clock.now_s:.1f}s, "
               f"{drive.stats.commands} disk commands]")
+        if args.trace:
+            _write_repl_trace(args.trace, drive)
         return 0
 
     while True:
@@ -149,6 +241,8 @@ def main(argv=None) -> int:
             line = input("> ")
         except (EOFError, KeyboardInterrupt):
             print()
+            if args.trace:
+                _write_repl_trace(args.trace, drive)
             return 0
         scrolled_before = os.display.scrolled
         snapshot = os.display.text()
@@ -162,6 +256,8 @@ def main(argv=None) -> int:
         sys.stdout.flush()
         if not line.strip().lower().startswith("quit") and line.strip().lower() != "quit":
             continue
+        if args.trace:
+            _write_repl_trace(args.trace, drive)
         return 0
 
 

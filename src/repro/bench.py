@@ -12,6 +12,12 @@ result more than ``--tolerance`` (default 20%) *slower* than its baseline
 fails the run.  ``--update-baselines`` rewrites the baseline file from the
 current run (do this when a deliberate change moves the numbers, and say
 why in the commit).
+
+The harness always runs with :func:`repro.obs.runtime.retain_stats` on, so
+every result row carries the merged metrics snapshot of the clocks that
+produced it (the ``obs`` key).  ``--trace out.json`` additionally records
+simulated-time spans on every clock and writes one merged Chrome
+``trace_event`` JSON next to the report (open it in Perfetto).
 """
 
 from __future__ import annotations
@@ -116,12 +122,31 @@ def main(argv=None) -> int:
                         help="run only bench modules whose name contains SUBSTR")
     parser.add_argument("--update-baselines", action="store_true",
                         help="rewrite the baseline file from this run instead of checking")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record simulated-time spans on every clock and "
+                             "write one merged Chrome trace JSON")
     args = parser.parse_args(argv)
 
     bench_dir = find_benchmarks_dir()
     baselines_path = Path(args.baselines) if args.baselines else bench_dir / BASELINES_NAME
 
-    results = run_benchmarks(args.profile, only=args.only, bench_dir=bench_dir)
+    from .obs import runtime as obs_runtime
+
+    obs_runtime.retain_stats(True)
+    if args.trace:
+        obs_runtime.enable_trace_all()
+    try:
+        results = run_benchmarks(args.profile, only=args.only, bench_dir=bench_dir)
+        if args.trace:
+            trace = obs_runtime.collect_trace()
+            Path(args.trace).write_text(
+                json.dumps(trace, indent=1, sort_keys=True) + "\n")
+            spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+            print(f"\n[trace written to {args.trace}: {spans} spans]")
+    finally:
+        if args.trace:
+            obs_runtime.disable_trace_all()
+        obs_runtime.retain_stats(False)
     if not results:
         print("no benchmark results collected")
         return 1

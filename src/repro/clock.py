@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from .obs import Observability
+
 MICROSECONDS_PER_SECOND = 1_000_000
 MICROSECONDS_PER_MILLISECOND = 1_000
 
@@ -29,6 +31,9 @@ class SimClock:
         self._now_us = 0
         self._tallies: dict = {}
         self._watchers: List[Callable[[int], None]] = []
+        # The observability layer hangs off the clock because every layer
+        # that can spend simulated time already holds one (repro.obs).
+        self.obs = Observability(self)
 
     # -- reading ------------------------------------------------------------
 

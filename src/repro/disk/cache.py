@@ -47,6 +47,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from ..clock import SimClock
+from ..obs import CounterAttr, MetricsRegistry
 from ..errors import CheckError, LabelCheckError, PowerFailure
 from .drive import MAX_READ_RETRIES, Action, DiskDrive, PartCommand, TransferResult
 from .image import DiskImage
@@ -83,25 +84,39 @@ class CacheEntry:
 
 
 class CacheStats:
-    """Hit/miss/flush counters (benchmarks report these)."""
+    """Hit/miss/flush counters (benchmarks report these).
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.deferred_writes = 0
-        self.write_through = 0  # structural commands passed straight down
-        self.flushes = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.cancelled_writes = 0  # dirty data superseded by a label op
-        self.overflows = 0  # inserts forced past capacity by pins
+    A thin view over ``disk.cache.*`` counters in a per-cache
+    :class:`~repro.obs.MetricsRegistry`, rolled up into the clock-level
+    registry so ``python -m repro stats`` sees them alongside everything
+    else.
+    """
+
+    _FIELDS = ("hits", "misses", "deferred_writes", "write_through",
+               "flushes", "evictions", "invalidations", "cancelled_writes",
+               "overflows")
+
+    hits = CounterAttr("disk.cache.hits")
+    misses = CounterAttr("disk.cache.misses")
+    deferred_writes = CounterAttr("disk.cache.deferred_writes")
+    write_through = CounterAttr("disk.cache.write_through")  # structural pass-downs
+    flushes = CounterAttr("disk.cache.flushes")
+    evictions = CounterAttr("disk.cache.evictions")
+    invalidations = CounterAttr("disk.cache.invalidations")
+    cancelled_writes = CounterAttr("disk.cache.cancelled_writes")  # superseded
+    overflows = CounterAttr("disk.cache.overflows")  # pins forced past capacity
+
+    def __init__(self, parent: Optional[MetricsRegistry] = None) -> None:
+        self.registry = MetricsRegistry(parent=parent)
+        for field in self._FIELDS:
+            self.registry.counter(type(self).__dict__[field].metric)
 
     def hit_rate(self) -> float:
         served = self.hits + self.misses
         return self.hits / served if served else 0.0
 
     def snapshot(self) -> dict:
-        out = dict(self.__dict__)
+        out = {field: getattr(self, field) for field in self._FIELDS}
         out["hit_rate"] = self.hit_rate()
         return out
 
@@ -128,8 +143,11 @@ class CachedDrive(DiskDrive):
         super().__init__(image, clock, fault_injector, max_read_retries)
         self.cache_sectors = cache_sectors
         self.hit_cost_us = hit_cost_us
-        self.cache_stats = CacheStats()
-        self.scheduler = RequestScheduler(image.shape)
+        self.cache_stats = CacheStats(parent=self.clock.obs.registry)
+        self.scheduler = RequestScheduler(
+            image.shape, parent_registry=self.clock.obs.registry)
+        self._drain_hist = self.cache_stats.registry.histogram(
+            "disk.cache.drain_sectors")
         self._entries: "OrderedDict[int, CacheEntry]" = OrderedDict()
 
     # ------------------------------------------------------------------------
@@ -238,7 +256,9 @@ class CachedDrive(DiskDrive):
         self.scheduler.enqueue(address)
         self.cache_stats.deferred_writes += 1
         self.cache_stats.hits += 1
-        self.clock.advance_us(self.hit_cost_us, CACHE)
+        with self.clock.obs.span("disk.cache.hit", "disk",
+                                 address=address, op="write"):
+            self.clock.advance_us(self.hit_cost_us, CACHE)
         return result
 
     # ------------------------------------------------------------------------
@@ -275,7 +295,9 @@ class CachedDrive(DiskDrive):
                     return self._pass_through(address, commands)
                 setattr(result, part, effective)
         self.cache_stats.hits += 1
-        self.clock.advance_us(self.hit_cost_us, CACHE)
+        with self.clock.obs.span("disk.cache.hit", "disk",
+                                 address=address, op="read"):
+            self.clock.advance_us(self.hit_cost_us, CACHE)
         return result
 
     # ------------------------------------------------------------------------
@@ -290,12 +312,16 @@ class CachedDrive(DiskDrive):
         queued -- exactly the state a crashed controller leaves behind.
         """
         flushed = 0
-        while True:
-            address = self.scheduler.next_address(self.timer.cylinder)
-            if address is None:
-                return flushed
-            self.flush_address(address)
-            flushed += 1
+        with self.clock.obs.span("disk.cache.flush", "disk") as span:
+            while True:
+                address = self.scheduler.next_address(self.timer.cylinder)
+                if address is None:
+                    break
+                self.flush_address(address)
+                flushed += 1
+            span.annotate(drained=flushed)
+        self._drain_hist.observe(flushed)
+        return flushed
 
     def flush_address(self, address: int) -> None:
         """Write back one sector now (no-op if it is not dirty)."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..clock import SimClock
+from ..obs import CounterAttr, MetricsRegistry
 from ..errors import (
     BadSectorError,
     CheckError,
@@ -47,6 +48,15 @@ class Action(enum.Enum):
 #: Part names in the order they pass under the head.
 PART_ORDER = ("header", "label", "value")
 _PART_SIZES = {"header": HEADER_WORDS, "label": LABEL_WORDS, "value": VALUE_WORDS}
+
+def _parts_summary(commands: dict) -> str:
+    """Compact ``header:read,label:check`` form for span annotations."""
+    return ",".join(
+        f"{part}:{command.action.value}"
+        for part, command in commands.items()
+        if command.action is not Action.NONE
+    )
+
 
 #: Default bounded retry budget for transient read errors: a marginal read
 #: is retried on later revolutions with linearly growing backoff; past the
@@ -87,20 +97,34 @@ class TransferResult:
 
 
 class DriveStats:
-    """Operation counts kept by the drive (benchmarks decompose costs here)."""
+    """Operation counts kept by the drive (benchmarks decompose costs here).
 
-    def __init__(self) -> None:
-        self.commands = 0
-        self.label_checks = 0
-        self.label_check_failures = 0
-        self.label_writes = 0
-        self.value_reads = 0
-        self.value_writes = 0
-        self.transient_read_errors = 0
-        self.read_retries = 0
+    A thin view over ``disk.drive.*`` counters in a per-drive
+    :class:`~repro.obs.MetricsRegistry`; increments roll up into the
+    clock-level registry at ``clock.obs.registry``, so drives sharing a
+    clock sum there while each drive's own numbers stay separate.
+    """
+
+    _FIELDS = ("commands", "label_checks", "label_check_failures",
+               "label_writes", "value_reads", "value_writes",
+               "transient_read_errors", "read_retries")
+
+    commands = CounterAttr("disk.drive.commands")
+    label_checks = CounterAttr("disk.drive.label_checks")
+    label_check_failures = CounterAttr("disk.drive.label_check_failures")
+    label_writes = CounterAttr("disk.drive.label_writes")
+    value_reads = CounterAttr("disk.drive.value_reads")
+    value_writes = CounterAttr("disk.drive.value_writes")
+    transient_read_errors = CounterAttr("disk.drive.transient_read_errors")
+    read_retries = CounterAttr("disk.drive.read_retries")
+
+    def __init__(self, parent: Optional[MetricsRegistry] = None) -> None:
+        self.registry = MetricsRegistry(parent=parent)
+        for field in self._FIELDS:
+            self.registry.counter(type(self).__dict__[field].metric)
 
     def snapshot(self) -> dict:
-        return dict(self.__dict__)
+        return {field: getattr(self, field) for field in self._FIELDS}
 
 
 class DiskDrive:
@@ -116,7 +140,7 @@ class DiskDrive:
         self.image = image
         self.clock = clock if clock is not None else SimClock()
         self.timer = ArmTimer(image.shape, self.clock)
-        self.stats = DriveStats()
+        self.stats = DriveStats(parent=self.clock.obs.registry)
         self.fault_injector = fault_injector
         self.max_read_retries = max_read_retries
         #: Optional observer (see :class:`repro.disk.trace.DiskTrace`).
@@ -162,6 +186,16 @@ class DiskDrive:
         self._validate_write_continuation(commands)
         self.shape.check_address(address)
 
+        obs = self.clock.obs
+        if obs.tracing:
+            with obs.span("disk.transfer", "disk", address=address,
+                          cylinder=self.shape.decompose(address)[0],
+                          parts=_parts_summary(commands)):
+                return self._execute(address, commands)
+        return self._execute(address, commands)
+
+    def _execute(self, address: int, commands: dict) -> TransferResult:
+        """The transfer body, after validation (span-wrapped when tracing)."""
         self.stats.commands += 1
         self.timer.position_for(address)
         self.timer.transfer_sector()

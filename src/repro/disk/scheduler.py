@@ -25,31 +25,49 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+from ..obs import CounterAttr, MetricsRegistry
 from .geometry import DiskShape
 
 
 class SchedulerStats:
-    """Queue-depth and batching counters (benchmarks report these)."""
+    """Queue-depth and batching counters (benchmarks report these).
 
-    def __init__(self) -> None:
-        self.enqueued = 0
-        self.coalesced = 0  # enqueue of an address already queued
-        self.serviced = 0
-        self.max_depth = 0
-        self.sweeps = 0  # direction reversals while draining
+    A thin view over ``disk.sched.*`` metrics: the counts live in a
+    per-scheduler :class:`~repro.obs.MetricsRegistry` and the queue depth
+    is a gauge, so ``max_depth`` is simply its high-water mark.
+    """
+
+    _FIELDS = ("enqueued", "coalesced", "serviced", "max_depth", "sweeps")
+
+    enqueued = CounterAttr("disk.sched.enqueued")
+    coalesced = CounterAttr("disk.sched.coalesced")  # address already queued
+    serviced = CounterAttr("disk.sched.serviced")
+    sweeps = CounterAttr("disk.sched.sweeps")  # direction reversals
+
+    def __init__(self, parent: Optional[MetricsRegistry] = None) -> None:
+        self.registry = MetricsRegistry(parent=parent)
+        for field in self._FIELDS:
+            if field != "max_depth":
+                self.registry.counter(type(self).__dict__[field].metric)
+        self.depth = self.registry.gauge("disk.sched.depth")
+
+    @property
+    def max_depth(self) -> int:
+        return self.depth.high_water
 
     def snapshot(self) -> dict:
-        return dict(self.__dict__)
+        return {field: getattr(self, field) for field in self._FIELDS}
 
 
 class RequestScheduler:
     """An elevator (SCAN) queue of sector addresses awaiting service."""
 
-    def __init__(self, shape: DiskShape) -> None:
+    def __init__(self, shape: DiskShape,
+                 parent_registry: Optional[MetricsRegistry] = None) -> None:
         self.shape = shape
         self._pending: Set[int] = set()
         self._ascending = True
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(parent=parent_registry)
 
     # ------------------------------------------------------------------------
     # Queue maintenance
@@ -70,12 +88,13 @@ class RequestScheduler:
             return
         self._pending.add(address)
         self.stats.enqueued += 1
-        self.stats.max_depth = max(self.stats.max_depth, len(self._pending))
+        self.stats.depth.set(len(self._pending))
 
     def discard(self, address: int) -> None:
         """Drop a request without servicing it (the sector was superseded,
         e.g. freed or rewritten through a label operation)."""
         self._pending.discard(address)
+        self.stats.depth.set(len(self._pending))
 
     def pending(self) -> List[int]:
         """The queued addresses, in linear order (for introspection)."""
@@ -115,3 +134,4 @@ class RequestScheduler:
         if address in self._pending:
             self._pending.remove(address)
             self.stats.serviced += 1
+            self.stats.depth.set(len(self._pending))

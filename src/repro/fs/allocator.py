@@ -110,21 +110,32 @@ class PageAllocator:
         stays marked busy -- the map told a lie -- and the next candidate is
         tried.  Raises :class:`DiskFull` when the map offers nothing.
         """
-        for address in self.candidates(near):
-            self.mark_busy(address)
-            try:
-                page_io.claim(address, label, data)
-            except PageNotFree:
-                self.map_lies += 1
-                continue
-            return address
-        raise DiskFull(f"no free page on {self.shape.name} ({self.count_free()} map bits free)")
+        obs = page_io.drive.clock.obs
+        with obs.span("fs.allocate", "fs",
+                      near=near if near is not None else NIL) as span:
+            tried = 0
+            for address in self.candidates(near):
+                tried += 1
+                self.mark_busy(address)
+                try:
+                    page_io.claim(address, label, data)
+                except PageNotFree:
+                    self.map_lies += 1
+                    obs.counter("fs.alloc.map_lies").inc()
+                    continue
+                obs.counter("fs.alloc.allocated").inc()
+                span.annotate(address=address, tried=tried)
+                return address
+            raise DiskFull(f"no free page on {self.shape.name} ({self.count_free()} map bits free)")
 
     def release(self, page_io: PageIO, name) -> None:
         """Free a page on disk (ones into label and value), then in the map."""
-        page_io.release(name)
-        page_io.invalidate(name.address)  # a freed page earns no cache space
-        self.mark_free(name.address)
+        obs = page_io.drive.clock.obs
+        with obs.span("fs.free", "fs", address=name.address):
+            page_io.release(name)
+            page_io.invalidate(name.address)  # a freed page earns no cache space
+            self.mark_free(name.address)
+            obs.counter("fs.alloc.freed").inc()
 
     # ------------------------------------------------------------------------
     # Serialization (for the disk descriptor) and reconstruction

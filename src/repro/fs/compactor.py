@@ -61,19 +61,26 @@ class Compactor:
     # ------------------------------------------------------------------------
 
     def compact(self) -> CompactionReport:
+        obs = self.drive.clock.obs
         watch = self.drive.clock.stopwatch()
-        scavenger = Scavenger(self.drive)
-        self.report.pre_scavenge = scavenger.scavenge()
-        files = scavenger._files  # the verified page table
-        bad = set(self.report.pre_scavenge.bad_sectors)
+        with obs.span("fs.compact", "fs") as span:
+            scavenger = Scavenger(self.drive)
+            self.report.pre_scavenge = scavenger.scavenge()
+            files = scavenger._files  # the verified page table
+            bad = set(self.report.pre_scavenge.bad_sectors)
 
-        mapping, final_labels = self._plan(files, bad)
-        if mapping:
-            self._execute(mapping, final_labels)
-        self._set_consecutive_flags(files, mapping)
-        # A second pass recomputes the map, descriptor, and directory hints
-        # from the new layout.
-        self.report.post_scavenge = Scavenger(self.drive).scavenge()
+            with obs.span("compact.plan", "compact"):
+                mapping, final_labels = self._plan(files, bad)
+            if mapping:
+                with obs.span("compact.execute", "compact"):
+                    self._execute(mapping, final_labels)
+            self._set_consecutive_flags(files, mapping)
+            # A second pass recomputes the map, descriptor, and directory hints
+            # from the new layout.
+            self.report.post_scavenge = Scavenger(self.drive).scavenge()
+            span.annotate(pages_moved=self.report.pages_moved,
+                          chains=self.report.chains, cycles=self.report.cycles)
+        obs.counter("fs.compact.runs").inc()
         self.report.elapsed_s = watch.elapsed_s
         return self.report
 

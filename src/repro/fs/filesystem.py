@@ -182,14 +182,15 @@ class FileSystem:
         """
         from ..words import words_to_bytes
 
-        descriptor = DiskDescriptor(
-            shape=self.drive.shape,
-            serial_counter=self._lease,
-            root_directory=self.root.full_name(),
-            free_map_words=self.allocator.pack(),
-        )
-        self.descriptor_file.write_data(words_to_bytes(descriptor.pack()))
-        self.flush()
+        with self.drive.clock.obs.span("fs.sync", "fs"):
+            descriptor = DiskDescriptor(
+                shape=self.drive.shape,
+                serial_counter=self._lease,
+                root_directory=self.root.full_name(),
+                free_map_words=self.allocator.pack(),
+            )
+            self.descriptor_file.write_data(words_to_bytes(descriptor.pack()))
+            self.flush()
 
     def flush(self) -> int:
         """Write back any buffered data writes (write-back cache); a no-op
@@ -212,9 +213,10 @@ class FileSystem:
         target = directory if directory is not None else self.root
         if target.lookup(name) is not None:
             raise DirectoryError(f"{name!r} already exists in {target.name!r}")
-        fid = self.new_fid(directory=is_directory)
-        file = AltoFile.create(self.page_io, self.allocator, fid, name, now=self.now(), near=near)
-        target.add(name, file.full_name())
+        with self.drive.clock.obs.span("fs.create", "fs", file=name):
+            fid = self.new_fid(directory=is_directory)
+            file = AltoFile.create(self.page_io, self.allocator, fid, name, now=self.now(), near=near)
+            target.add(name, file.full_name())
         return file
 
     def create_directory(self, name: str, parent: Optional[Directory] = None) -> Directory:
@@ -231,7 +233,8 @@ class FileSystem:
         :class:`HintFailed`; the full recovery ladder lives in
         :mod:`repro.fs.hints`."""
         target = directory if directory is not None else self.root
-        return self.open_entry(target.require(name))
+        with self.drive.clock.obs.span("fs.open", "fs", file=name):
+            return self.open_entry(target.require(name))
 
     def open_directory(self, name: str, parent: Optional[Directory] = None) -> Directory:
         return Directory(self.open_file(name, directory=parent))
@@ -239,10 +242,11 @@ class FileSystem:
     def delete_file(self, name: str, directory: Optional[Directory] = None) -> None:
         """Delete the file and remove its entry from *directory*."""
         target = directory if directory is not None else self.root
-        entry = target.require(name)
-        file = self.open_entry(entry)
-        file.delete()
-        target.remove(name)
+        with self.drive.clock.obs.span("fs.delete", "fs", file=name):
+            entry = target.require(name)
+            file = self.open_entry(entry)
+            file.delete()
+            target.remove(name)
 
     def rename_file(self, old: str, new: str, directory: Optional[Directory] = None) -> None:
         """Rename both the directory entry and the leader name."""

@@ -25,11 +25,12 @@ the lie.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..disk.geometry import NIL
 from ..errors import FileNotFound, HintFailed
+from ..obs import CounterAttr, MetricsRegistry
 from .directory import Directory
 from .names import FileId, FullName
 from .page import PageContents, PageIO
@@ -38,15 +39,32 @@ from .page import PageContents, PageIO
 RUNGS = ("direct", "known-page", "directory-fv", "directory-name", "scavenge")
 
 
-@dataclass
 class LadderStats:
-    """How often each rung resolved an access (benchmark instrumentation)."""
+    """How often each rung resolved an access (benchmark instrumentation).
 
-    successes: Dict[str, int] = field(default_factory=lambda: {r: 0 for r in RUNGS})
-    link_follows: int = 0
+    A thin view over ``fs.ladder.*`` counters in a per-ladder
+    :class:`~repro.obs.MetricsRegistry`: ``successes`` reads the rung
+    counters back as the familiar dict, and updates roll up into the
+    clock-level registry.
+    """
+
+    link_follows = CounterAttr("fs.ladder.link_follows")
+
+    def __init__(self, parent: Optional[MetricsRegistry] = None) -> None:
+        self.registry = MetricsRegistry(parent=parent)
+        self.registry.counter("fs.ladder.link_follows")
+        for rung in RUNGS:
+            self.registry.counter(f"fs.ladder.rung.{rung}")
+
+    @property
+    def successes(self) -> Dict[str, int]:
+        return {rung: self.registry.counter(f"fs.ladder.rung.{rung}").value
+                for rung in RUNGS}
 
     def record(self, rung: str) -> None:
-        self.successes[rung] += 1
+        if rung not in RUNGS:
+            raise KeyError(rung)
+        self.registry.counter(f"fs.ladder.rung.{rung}").inc()
 
 
 class KthPageHints:
@@ -94,7 +112,7 @@ class HintLadder:
     def __init__(self, fs, scavenge_allowed: bool = True) -> None:
         self.fs = fs
         self.page_io: PageIO = fs.page_io
-        self.stats = LadderStats()
+        self.stats = LadderStats(parent=fs.drive.clock.obs.registry)
         self.scavenge_allowed = scavenge_allowed
 
     # ------------------------------------------------------------------------
@@ -114,60 +132,73 @@ class HintLadder:
         correct full name for some other portion of the file (typically the
         leader); ``kth`` is an optional every-k-pages hint table.
         """
-        # Rung 0: direct access through the hint.
-        try:
-            contents = self.page_io.read(hint)
-            self.stats.record("direct")
-            return contents
-        except HintFailed:
-            pass
-
-        # Rung 1: follow links from a known page / the k-th page hints.
-        start = None
-        if kth is not None:
-            start = kth.nearest(hint.page_number)
-        if start is None:
-            start = known
-        if start is not None:
+        obs = self.fs.drive.clock.obs
+        with obs.span("fs.read_page", "fs", file=name,
+                      page=hint.page_number) as outer:
+            # Rung 0: direct access through the hint.
             try:
-                contents = self._walk_and_read(start, hint.page_number)
-                self.stats.record("known-page")
+                with obs.span("hints.direct", "hints"):
+                    contents = self.page_io.read(hint)
+                self.stats.record("direct")
+                outer.annotate(rung="direct")
                 return contents
             except HintFailed:
                 pass
 
-        # Rung 2: look up the FV in a directory for the proper address.
-        leader = self._lookup_by_fid(hint.fid)
-        if leader is not None:
+            # Rung 1: follow links from a known page / the k-th page hints.
+            start = None
+            if kth is not None:
+                start = kth.nearest(hint.page_number)
+            if start is None:
+                start = known
+            if start is not None:
+                try:
+                    with obs.span("hints.known-page", "hints"):
+                        contents = self._walk_and_read(start, hint.page_number)
+                    self.stats.record("known-page")
+                    outer.annotate(rung="known-page")
+                    return contents
+                except HintFailed:
+                    pass
+
+            # Rung 2: look up the FV in a directory for the proper address.
+            leader = self._lookup_by_fid(hint.fid)
+            if leader is not None:
+                try:
+                    with obs.span("hints.directory-fv", "hints"):
+                        contents = self._walk_and_read(leader, hint.page_number)
+                    self.stats.record("directory-fv")
+                    outer.annotate(rung="directory-fv")
+                    return contents
+                except HintFailed:
+                    pass
+
+            # Rung 3: look up the string name for a (possibly new) FV.
             try:
-                contents = self._walk_and_read(leader, hint.page_number)
-                self.stats.record("directory-fv")
+                with obs.span("hints.directory-name", "hints"):
+                    entry = self.fs.root.require(name)
+                    contents = self._walk_and_read(entry.full_name, hint.page_number)
+                self.stats.record("directory-name")
+                outer.annotate(rung="directory-name")
                 return contents
-            except HintFailed:
+            except (FileNotFound, HintFailed):
                 pass
 
-        # Rung 3: look up the string name for a (possibly new) FV.
-        try:
-            entry = self.fs.root.require(name)
-            contents = self._walk_and_read(entry.full_name, hint.page_number)
-            self.stats.record("directory-name")
+            # Rung 4: invoke the Scavenger, then retry from the directory.
+            if not self.scavenge_allowed:
+                raise HintFailed(f"all rungs failed for {name!r} page {hint.page_number}")
+            from .filesystem import FileSystem
+            from .scavenger import Scavenger
+
+            with obs.span("hints.scavenge", "hints"):
+                Scavenger(self.fs.drive).scavenge()
+                remounted = FileSystem.mount(self.fs.drive)
+                self.fs.__dict__.update(remounted.__dict__)  # refresh in place
+                entry = self.fs.root.require(name)
+                contents = self._walk_and_read(entry.full_name, hint.page_number)
+            self.stats.record("scavenge")
+            outer.annotate(rung="scavenge")
             return contents
-        except (FileNotFound, HintFailed):
-            pass
-
-        # Rung 4: invoke the Scavenger, then retry from the directory.
-        if not self.scavenge_allowed:
-            raise HintFailed(f"all rungs failed for {name!r} page {hint.page_number}")
-        from .filesystem import FileSystem
-        from .scavenger import Scavenger
-
-        Scavenger(self.fs.drive).scavenge()
-        remounted = FileSystem.mount(self.fs.drive)
-        self.fs.__dict__.update(remounted.__dict__)  # refresh in place
-        entry = self.fs.root.require(name)
-        contents = self._walk_and_read(entry.full_name, hint.page_number)
-        self.stats.record("scavenge")
-        return contents
 
     # ------------------------------------------------------------------------
     # Helpers

@@ -66,22 +66,27 @@ class PageIO:
     def read(self, name: FullName) -> PageContents:
         """Read a page's data, confirming its absolute identity first."""
         self._require_hint(name)
-        try:
-            result = self.drive.check_label_read_value(name.address, name.check_label())
-        except (LabelCheckError, AddressOutOfRange) as exc:
-            raise HintFailed(f"page {name} is not at its hinted address") from exc
+        with self.drive.clock.obs.span("fs.page.read", "fs",
+                                       address=name.address,
+                                       page=name.page_number):
+            try:
+                result = self.drive.check_label_read_value(name.address, name.check_label())
+            except (LabelCheckError, AddressOutOfRange) as exc:
+                raise HintFailed(f"page {name} is not at its hinted address") from exc
         return PageContents(name=name, label=result.label_object(), value=result.value)
 
     def read_label(self, name: FullName) -> Label:
         """Read (and verify) just the label -- the cheap way to get links."""
         self._require_hint(name)
-        try:
-            result = self.drive.transfer(
-                name.address,
-                label=_check_command(name),
-            )
-        except (LabelCheckError, AddressOutOfRange) as exc:
-            raise HintFailed(f"page {name} is not at its hinted address") from exc
+        with self.drive.clock.obs.span("fs.page.read_label", "fs",
+                                       address=name.address):
+            try:
+                result = self.drive.transfer(
+                    name.address,
+                    label=_check_command(name),
+                )
+            except (LabelCheckError, AddressOutOfRange) as exc:
+                raise HintFailed(f"page {name} is not at its hinted address") from exc
         return result.label_object()
 
     def write(self, name: FullName, data: Sequence[int]) -> None:
@@ -91,10 +96,13 @@ class PageIO:
         (section 3.3) -- this is that ordinary, single-pass write.
         """
         self._require_hint(name)
-        try:
-            self.drive.check_label_write_value(name.address, name.check_label(), value_words(data))
-        except (LabelCheckError, AddressOutOfRange) as exc:
-            raise HintFailed(f"page {name} is not at its hinted address") from exc
+        with self.drive.clock.obs.span("fs.page.write", "fs",
+                                       address=name.address,
+                                       page=name.page_number):
+            try:
+                self.drive.check_label_write_value(name.address, name.check_label(), value_words(data))
+            except (LabelCheckError, AddressOutOfRange) as exc:
+                raise HintFailed(f"page {name} is not at its hinted address") from exc
 
     # -- label-rewriting operations (two disk passes: one revolution) -------------
 

@@ -160,25 +160,38 @@ class Scavenger:
 
     def scavenge(self) -> ScavengeReport:
         """Run the full pass; afterwards ``FileSystem.mount`` succeeds."""
+        obs = self.drive.clock.obs
         watch = self.drive.clock.stopwatch()
-        # The sweep reads absolutes; a write-back cache on this drive must
-        # first put the platter in its logically current state and then get
-        # out of the way (every cached copy is just a hint).
-        settle = getattr(self.drive, "flush_and_invalidate", None)
-        if settle is not None:
-            settle()
-        self._sweep()
-        self._sort_and_group()
-        self._repair_files()
-        self._rebuild_map()
-        root = self._recover_root()
-        referenced = self._verify_directories(root)
-        self._rescue_orphans(root, referenced)
-        self._rewrite_descriptor(root)
-        # Recovery is only recovery if it survives the next crash: push the
-        # scavenger's own repairs out of any write-back buffer.
-        if settle is not None:
-            settle()
+        with obs.span("fs.scavenge", "fs") as span:
+            # The sweep reads absolutes; a write-back cache on this drive must
+            # first put the platter in its logically current state and then get
+            # out of the way (every cached copy is just a hint).
+            settle = getattr(self.drive, "flush_and_invalidate", None)
+            if settle is not None:
+                settle()
+            with obs.span("scavenge.sweep", "scavenge"):
+                self._sweep()
+            with obs.span("scavenge.sort", "scavenge"):
+                self._sort_and_group()
+            with obs.span("scavenge.repair_files", "scavenge"):
+                self._repair_files()
+            with obs.span("scavenge.rebuild_map", "scavenge"):
+                self._rebuild_map()
+            with obs.span("scavenge.recover_root", "scavenge"):
+                root = self._recover_root()
+            with obs.span("scavenge.verify_directories", "scavenge"):
+                referenced = self._verify_directories(root)
+            with obs.span("scavenge.rescue_orphans", "scavenge"):
+                self._rescue_orphans(root, referenced)
+            with obs.span("scavenge.rewrite_descriptor", "scavenge"):
+                self._rewrite_descriptor(root)
+            # Recovery is only recovery if it survives the next crash: push the
+            # scavenger's own repairs out of any write-back buffer.
+            if settle is not None:
+                settle()
+            span.annotate(repairs=self.report.repairs_made(),
+                          files=self.report.files_found)
+        obs.counter("fs.scavenge.runs").inc()
         self.report.elapsed_s = watch.elapsed_s
         self.report.breakdown_ms = watch.breakdown_ms()
         return self.report

@@ -1,0 +1,61 @@
+"""``repro.obs`` -- the unified observability layer.
+
+Three pieces, all zero-dependency and keyed to simulated time:
+
+* :mod:`~repro.obs.tracer` -- nested spans (``fs.read_page`` →
+  ``hints.direct`` → ``disk.transfer``) with simulated-time durations,
+  recorded into a bounded ring buffer.  Off by default; the on/off switch
+  provably cannot change timing or on-disk bytes.
+* :mod:`~repro.obs.metrics` -- counters, gauges, and histograms in a
+  parent-mirroring registry that unifies the old per-layer stats classes
+  (``CacheStats``, ``LadderStats``, ``SchedulerStats``, clock tallies).
+* :mod:`~repro.obs.export` / :mod:`~repro.obs.schema` -- Chrome
+  ``trace_event`` JSON (Perfetto-loadable) plus a dependency-free
+  validator used by CI.
+
+Entry points: every :class:`~repro.clock.SimClock` carries an
+:class:`Observability` at ``clock.obs``; the CLI exposes ``python -m
+repro stats`` and ``--trace out.json`` on the REPL, ``crashtest``, and
+``bench`` subcommands.  See ``OBSERVABILITY.md`` for the span taxonomy
+and metric names.
+"""
+
+from .export import chrome_trace, tracer_events, write_trace
+from .metrics import Counter, CounterAttr, Gauge, Histogram, MetricsRegistry
+from .runtime import (
+    Observability,
+    collect_trace,
+    disable_trace_all,
+    drain_stats,
+    enable_trace_all,
+    merge_stats,
+    retain_stats,
+    trace_all_enabled,
+)
+from .schema import validate_trace, validate_trace_file
+from .tracer import NULL_SPAN, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "CounterAttr",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "collect_trace",
+    "disable_trace_all",
+    "drain_stats",
+    "enable_trace_all",
+    "merge_stats",
+    "retain_stats",
+    "trace_all_enabled",
+    "tracer_events",
+    "validate_trace",
+    "validate_trace_file",
+    "write_trace",
+]

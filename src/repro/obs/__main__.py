@@ -1,0 +1,7 @@
+"""``python -m repro.obs trace.json [schema.json]`` -- validate a trace."""
+
+import sys
+
+from .schema import main
+
+sys.exit(main())

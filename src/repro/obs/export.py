@@ -1,0 +1,104 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat stats dicts.
+
+The trace format is the JSON Object Format from the Trace Event spec --
+load the file in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``
+and the simulated machine appears on a timeline: each traced clock becomes
+a process row, spans nest by simulated-time containment, and span args
+(addresses, rungs, drain sizes) show in the details pane.
+
+Timestamps are simulated microseconds straight off the
+:class:`~repro.clock.SimClock`, so one trace-viewer millisecond is one
+simulated millisecond.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .tracer import Tracer
+
+TracerSpec = Union[Tracer, Iterable[Tuple[str, Tracer]], Dict[str, Tracer]]
+
+
+def tracer_events(tracer: Tracer, pid: int = 0, label: str = "sim") -> List[Dict]:
+    """One tracer's ring buffer as a list of Chrome trace events."""
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": label}},
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "simulated time"}},
+    ]
+    ordered = sorted(tracer.events, key=lambda e: (e.start_us, -e.end_us, e.id))
+    for event in ordered:
+        args: Dict = {"span_id": event.id}
+        if event.parent_id:
+            args["parent_id"] = event.parent_id
+        if event.args:
+            args.update(event.args)
+        if event.kind == "instant":
+            events.append({
+                "name": event.name,
+                "cat": event.category or "repro",
+                "ph": "i",
+                "ts": event.start_us,
+                "s": "t",
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            })
+        else:
+            events.append({
+                "name": event.name,
+                "cat": event.category or "repro",
+                "ph": "X",
+                "ts": event.start_us,
+                "dur": event.duration_us,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            })
+    return events
+
+
+def _normalise(tracers: TracerSpec) -> List[Tuple[str, Tracer]]:
+    if isinstance(tracers, Tracer):
+        return [("sim", tracers)]
+    if isinstance(tracers, dict):
+        return list(tracers.items())
+    return list(tracers)
+
+
+def chrome_trace(tracers: TracerSpec,
+                 stats: Optional[Dict] = None) -> Dict:
+    """Build the top-level trace object for one or more tracers.
+
+    ``stats`` (a flat metrics snapshot) rides along under
+    ``otherData.stats`` so a single file carries both the timeline and the
+    counters that summarise it.
+    """
+    pairs = _normalise(tracers)
+    events: List[Dict] = []
+    dropped = 0
+    for pid, (label, tracer) in enumerate(pairs):
+        events.extend(tracer_events(tracer, pid=pid, label=label))
+        dropped += tracer.dropped
+    trace: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    other: Dict = {}
+    if stats:
+        other["stats"] = stats
+    if dropped:
+        other["dropped_spans"] = dropped
+    if other:
+        trace["otherData"] = other
+    return trace
+
+
+def write_trace(path: str, tracers: TracerSpec,
+                stats: Optional[Dict] = None) -> Dict:
+    """Serialise :func:`chrome_trace` to ``path``; returns the trace dict."""
+    trace = chrome_trace(tracers, stats=stats)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return trace

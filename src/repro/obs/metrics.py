@@ -1,0 +1,190 @@
+"""The metrics registry: counters, gauges, simulated-time histograms.
+
+One API for every tally the system keeps.  Before this module each layer
+grew its own ad-hoc counter class (``CacheStats``, ``LadderStats``,
+``SchedulerStats``) with duplicated as-dict and rate logic; those classes
+survive as *thin views* over a :class:`MetricsRegistry`, so old call sites
+keep working while ``python -m repro stats`` and the benchmark harness see
+every number through one snapshot.
+
+Registries form a tree: a per-component registry created with
+``MetricsRegistry(parent=...)`` keeps its own values (a fresh
+``HintLadder`` starts its rung counts at zero) *and* mirrors every update
+into the parent -- typically the clock-level registry at
+``clock.obs.registry`` -- so the whole machine rolls up in one place.
+
+Metrics never touch the simulated clock or the disk: enabling, reading, or
+snapshotting them cannot change timing or on-disk bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically adjusted running total."""
+
+    __slots__ = ("name", "value", "_mirror")
+
+    def __init__(self, name: str, mirror: Optional["Counter"] = None) -> None:
+        self.name = name
+        self.value = 0
+        self._mirror = mirror
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+        if self._mirror is not None:
+            self._mirror.inc(amount)
+
+
+class Gauge:
+    """A point-in-time level, with its high-water mark."""
+
+    __slots__ = ("name", "value", "high_water", "_mirror")
+
+    def __init__(self, name: str, mirror: Optional["Gauge"] = None) -> None:
+        self.name = name
+        self.value = 0
+        self.high_water = 0
+        self._mirror = mirror
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+        if self._mirror is not None:
+            self._mirror.set(value)
+
+
+class Histogram:
+    """A distribution of observed values (typically simulated microseconds).
+
+    Keeps count/total/min/max plus power-of-two buckets: bucket *i* counts
+    observations with ``value.bit_length() == i`` (bucket 0 is exactly 0).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_mirror")
+
+    def __init__(self, name: str, mirror: Optional["Histogram"] = None) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.buckets: Dict[int, int] = {}
+        self._mirror = mirror
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length() if value > 0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        if self._mirror is not None:
+            self._mirror.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms, created on first use."""
+
+    def __init__(self, parent: Optional["MetricsRegistry"] = None) -> None:
+        self._metrics: Dict[str, object] = {}
+        self.parent = parent
+
+    # -- create-or-get accessors ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def _get_or_create(self, name: str, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            mirror = None
+            if self.parent is not None:
+                mirror = self.parent._get_or_create(name, kind)
+            metric = kind(name, mirror)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+            )
+        return metric
+
+    # -- introspection --------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Every metric flattened into one ``name -> number`` dict.
+
+        Gauges contribute ``name`` and ``name.high_water``; histograms
+        contribute ``name.count`` / ``.total`` / ``.min`` / ``.max``.
+        Derived values (rates, means) are left to the callers that want
+        them, so snapshots from different registries can be merged by
+        plain sum/min/max (see :func:`repro.obs.runtime.merge_stats`).
+        """
+        out: Dict[str, Number] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = metric.value
+                out[f"{name}.high_water"] = metric.high_water
+            else:
+                out[f"{name}.count"] = metric.count
+                out[f"{name}.total"] = metric.total
+                if metric.count:
+                    out[f"{name}.min"] = metric.min
+                    out[f"{name}.max"] = metric.max
+        return out
+
+
+class CounterAttr:
+    """A class attribute backed by a registry counter.
+
+    The migration shim for the old stats classes: ``stats.hits`` keeps
+    reading and ``stats.hits += 1`` keeps writing, but the number lives in
+    ``stats.registry`` (and rolls up to its parent).  Assignment is applied
+    as a delta so mirrored parents stay consistent.
+    """
+
+    __slots__ = ("metric",)
+
+    def __init__(self, metric: str) -> None:
+        self.metric = metric
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.registry.counter(self.metric).value
+
+    def __set__(self, obj, value) -> None:
+        counter = obj.registry.counter(self.metric)
+        counter.inc(value - counter.value)

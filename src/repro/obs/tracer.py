@@ -1,0 +1,201 @@
+"""The span tracer: nested simulated-time spans in a ring buffer.
+
+A span brackets a stretch of simulated time -- ``fs.read_page`` opening
+``hints.direct`` opening ``disk.transfer`` -- and records where the
+:class:`~repro.clock.SimClock` stood when it began and ended.  Finished
+spans land in a bounded ring buffer (``collections.deque(maxlen=...)``),
+oldest dropped first, so tracing a long run costs bounded memory.
+
+Tracing is **off by default**.  When off, ``Observability.span(...)``
+returns the shared :data:`NULL_SPAN` without touching the tracer, and the
+instrumented code paths take the exact same clock steps -- spans only ever
+*read* ``clock.now_us``, never advance it, so enabling or disabling the
+tracer cannot change timing or on-disk bytes (the off-switch guarantee
+tested in ``tests/obs/test_off_switch.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+DEFAULT_CAPACITY = 65536
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **args) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanEvent:
+    """One finished span (or instant) as it sits in the ring buffer."""
+
+    __slots__ = ("id", "parent_id", "name", "category", "start_us", "end_us",
+                 "depth", "args", "kind")
+
+    def __init__(self, id: int, parent_id: int, name: str, category: str,
+                 start_us: int, end_us: int, depth: int,
+                 args: Optional[Dict] = None, kind: str = "span") -> None:
+        self.id = id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start_us = start_us
+        self.end_us = end_us
+        self.depth = depth
+        self.args = args
+        self.kind = kind
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanEvent({self.name!r}, {self.start_us}..{self.end_us}us, "
+                f"depth={self.depth})")
+
+
+class Span:
+    """An open span; use as a context manager, ``annotate(**kw)`` to tag it."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "id", "parent_id",
+                 "depth", "start_us")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 args: Optional[Dict], id: int, parent_id: int, depth: int,
+                 start_us: int) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.id = id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_us = start_us
+
+    def annotate(self, **args) -> "Span":
+        if self.args is None:
+            self.args = {}
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.annotate(error=exc_type.__name__)
+        self._tracer.finish(self)
+        return False
+
+
+class Tracer:
+    """Records spans against a simulated clock into a bounded ring."""
+
+    def __init__(self, clock=None, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.clock = clock
+        self.capacity = capacity
+        self.enabled = False
+        self.events: "deque[SpanEvent]" = deque(maxlen=capacity)
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- switches -------------------------------------------------------------
+
+    def enable(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity != self.capacity:
+            self.capacity = capacity
+            self.events = deque(self.events, maxlen=capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def now_us(self) -> int:
+        return self.clock.now_us if self.clock is not None else 0
+
+    def begin(self, name: str, category: str = "",
+              args: Optional[Dict] = None) -> Span:
+        span = Span(
+            tracer=self,
+            name=name,
+            category=category,
+            args=args,
+            id=self._next_id,
+            parent_id=self._stack[-1].id if self._stack else 0,
+            depth=len(self._stack),
+            start_us=self.now_us(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        stack = self._stack
+        if span in stack:
+            # Tolerate out-of-order exits (an exception unwinding through
+            # several spans): close everything opened after this span too.
+            while stack and stack[-1] is not span:
+                self.finish(stack[-1])
+            stack.pop()
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(SpanEvent(
+            id=span.id,
+            parent_id=span.parent_id,
+            name=span.name,
+            category=span.category,
+            start_us=span.start_us,
+            end_us=self.now_us(),
+            depth=span.depth,
+            args=span.args,
+        ))
+
+    def instant(self, name: str, category: str = "", **args) -> None:
+        """Record a zero-duration marker (a Chrome-trace instant event)."""
+        if not self.enabled:
+            return
+        now = self.now_us()
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(SpanEvent(
+            id=self._next_id,
+            parent_id=self._stack[-1].id if self._stack else 0,
+            name=name,
+            category=category,
+            start_us=now,
+            end_us=now,
+            depth=len(self._stack),
+            args=args or None,
+            kind="instant",
+        ))
+        self._next_id += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def spans(self) -> List[SpanEvent]:
+        return [event for event in self.events if event.kind == "span"]
+
+    def find(self, name: str) -> List[SpanEvent]:
+        return [event for event in self.events if event.name == name]

@@ -161,13 +161,17 @@ class WorldSwapper:
         The written=false return happens when someone InLoads the file: the
         engine then runs ``program.phase_<resume_phase>`` with the message.
         """
-        state = self.machine.capture()
-        data = pack_state(
-            state["memory"], state["registers"], program, resume_phase, state["typeahead"]
-        )
-        file = self.state_file(file_name)
-        file.write_data(data, now=self.fs.now())
+        obs = self.fs.drive.clock.obs
+        with obs.span("world.outload", "world", file=file_name,
+                      program=program, phase=resume_phase):
+            state = self.machine.capture()
+            data = pack_state(
+                state["memory"], state["registers"], program, resume_phase, state["typeahead"]
+            )
+            file = self.state_file(file_name)
+            file.write_data(data, now=self.fs.now())
         self.outloads += 1
+        obs.counter("world.outloads").inc()
         return file
 
     def atomic_outload(self, file_name: str, program: str, resume_phase: str) -> AltoFile:
@@ -183,30 +187,34 @@ class WorldSwapper:
         it).  Costs roughly twice the disk traffic of a plain OutLoad --
         that is why it is a separate call and not the default.
         """
-        state = self.machine.capture()
-        data = pack_state(
-            state["memory"], state["registers"], program, resume_phase, state["typeahead"]
-        )
-        shadow_name = file_name + SHADOW_SUFFIX
-        try:
-            self.fs.delete_file(shadow_name)
-        except FileNotFound:
-            pass
-        shadow = self.fs.create_file(shadow_name)
-        shadow.write_data(data, now=self.fs.now())
-        # The shadow must be *durably* complete before the old state is
-        # destroyed: on a write-back drive its data may still be buffered.
-        self.fs.flush()
-        # Commit: the complete new state takes over the real name.
-        try:
-            self.fs.delete_file(file_name)
-        except FileNotFound:
-            pass
-        self._files.pop(file_name, None)
-        self.fs.rename_file(shadow_name, file_name)
-        self.fs.flush()
+        obs = self.fs.drive.clock.obs
+        with obs.span("world.outload", "world", file=file_name,
+                      program=program, phase=resume_phase, atomic=True):
+            state = self.machine.capture()
+            data = pack_state(
+                state["memory"], state["registers"], program, resume_phase, state["typeahead"]
+            )
+            shadow_name = file_name + SHADOW_SUFFIX
+            try:
+                self.fs.delete_file(shadow_name)
+            except FileNotFound:
+                pass
+            shadow = self.fs.create_file(shadow_name)
+            shadow.write_data(data, now=self.fs.now())
+            # The shadow must be *durably* complete before the old state is
+            # destroyed: on a write-back drive its data may still be buffered.
+            self.fs.flush()
+            # Commit: the complete new state takes over the real name.
+            try:
+                self.fs.delete_file(file_name)
+            except FileNotFound:
+                pass
+            self._files.pop(file_name, None)
+            self.fs.rename_file(shadow_name, file_name)
+            self.fs.flush()
+            file = self.fs.open_file(file_name)
         self.outloads += 1
-        file = self.fs.open_file(file_name)
+        obs.counter("world.outloads").inc()
         self._files[file_name] = file
         return file
 
@@ -214,14 +222,18 @@ class WorldSwapper:
         """The emergency bootstrap OutLoad (section 4.1): saves memory but
         "could not preserve some of the most vital state (e.g., processor
         registers)" -- registers are written as zeros."""
-        state = self.machine.capture()
-        data = pack_state(
-            state["memory"], [0] * len(state["registers"]), program, "emergency",
-            state["typeahead"],
-        )
-        file = self.state_file(file_name)
-        file.write_data(data, now=self.fs.now())
+        obs = self.fs.drive.clock.obs
+        with obs.span("world.outload", "world", file=file_name,
+                      program=program, phase="emergency", emergency=True):
+            state = self.machine.capture()
+            data = pack_state(
+                state["memory"], [0] * len(state["registers"]), program, "emergency",
+                state["typeahead"],
+            )
+            file = self.state_file(file_name)
+            file.write_data(data, now=self.fs.now())
         self.outloads += 1
+        obs.counter("world.outloads").inc()
         return file
 
     # -- InLoad -------------------------------------------------------------------
@@ -234,23 +246,26 @@ class WorldSwapper:
         is missing or invalid but a complete shadow from an interrupted
         :meth:`atomic_outload` exists, the shadow is restored instead.
         """
-        try:
-            file = self.state_file(file_name, create=False)
-            memory_words, registers, program, phase, typeahead = unpack_state(file.read_data())
-        except (FileNotFound, BadStateFile) as primary:
-            # A crash between an atomic OutLoad's commit steps can leave
-            # the complete new state only under the shadow name.
+        obs = self.fs.drive.clock.obs
+        with obs.span("world.inload", "world", file=file_name):
             try:
-                shadow = self.fs.open_file(file_name + SHADOW_SUFFIX)
-                memory_words, registers, program, phase, typeahead = unpack_state(
-                    shadow.read_data()
-                )
-            except (FileNotFound, BadStateFile):
-                raise primary
-        self.machine.restore(
-            {"memory": memory_words, "registers": registers, "typeahead": typeahead}
-        )
+                file = self.state_file(file_name, create=False)
+                memory_words, registers, program, phase, typeahead = unpack_state(file.read_data())
+            except (FileNotFound, BadStateFile) as primary:
+                # A crash between an atomic OutLoad's commit steps can leave
+                # the complete new state only under the shadow name.
+                try:
+                    shadow = self.fs.open_file(file_name + SHADOW_SUFFIX)
+                    memory_words, registers, program, phase, typeahead = unpack_state(
+                        shadow.read_data()
+                    )
+                except (FileNotFound, BadStateFile):
+                    raise primary
+            self.machine.restore(
+                {"memory": memory_words, "registers": registers, "typeahead": typeahead}
+            )
         self.inloads += 1
+        obs.counter("world.inloads").inc()
         return program, phase
 
 

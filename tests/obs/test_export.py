@@ -1,0 +1,128 @@
+"""Exporter correctness: round-trips, nesting, durations, schema validity."""
+
+import json
+
+from repro import SimClock
+from repro.obs import chrome_trace, validate_trace, write_trace
+
+
+def sample_clock():
+    """A deterministic three-level trace: outer > (childA, childB > grand)."""
+    clock = SimClock()
+    clock.obs.enable_tracing()
+    with clock.obs.span("outer", "test"):
+        clock.advance_us(10, "test")  # self time before children
+        with clock.obs.span("childA", "test", address=1):
+            clock.advance_us(30, "test")
+        clock.advance_us(5, "test")  # self time between children
+        with clock.obs.span("childB", "test"):
+            clock.advance_us(20, "test")
+            with clock.obs.span("grand", "test"):
+                clock.advance_us(40, "test")
+        clock.advance_us(15, "test")  # self time after children
+    clock.obs.instant("marker", "test")
+    return clock
+
+
+def complete_events(trace):
+    return [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+
+
+def by_name(trace):
+    return {e["name"]: e for e in complete_events(trace)}
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        clock = sample_clock()
+        path = tmp_path / "trace.json"
+        written = write_trace(str(path), clock.obs.tracer, stats=clock.obs.stats())
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"]["stats"]["clock.now_us"] == 120
+
+    def test_metadata_names_the_process(self):
+        trace = chrome_trace([("alto", sample_clock().obs.tracer)])
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        assert meta[0]["args"]["name"] == "alto"
+
+    def test_spans_nest_without_overlap(self):
+        trace = chrome_trace(sample_clock().obs.tracer)
+        assert validate_trace(trace) == []
+
+    def test_parent_links_follow_the_span_tree(self):
+        spans = by_name(chrome_trace(sample_clock().obs.tracer))
+        outer_id = spans["outer"]["args"]["span_id"]
+        assert "parent_id" not in spans["outer"]["args"]
+        assert spans["childA"]["args"]["parent_id"] == outer_id
+        assert spans["childB"]["args"]["parent_id"] == outer_id
+        assert spans["grand"]["args"]["parent_id"] == spans["childB"]["args"]["span_id"]
+
+    def test_duration_is_children_plus_self_time(self):
+        spans = by_name(chrome_trace(sample_clock().obs.tracer))
+        assert spans["childA"]["dur"] == 30
+        assert spans["grand"]["dur"] == 40
+        assert spans["childB"]["dur"] == 20 + 40  # self + grand
+        # outer = self (10 + 5 + 15) + childA + childB
+        assert spans["outer"]["dur"] == 30 + spans["childA"]["dur"] + spans["childB"]["dur"]
+        # Children sit inside the parent's interval.
+        for child in ("childA", "childB"):
+            assert spans[child]["ts"] >= spans["outer"]["ts"]
+            assert (spans[child]["ts"] + spans[child]["dur"]
+                    <= spans["outer"]["ts"] + spans["outer"]["dur"])
+
+    def test_events_sorted_parents_before_children(self):
+        names = [e["name"] for e in complete_events(chrome_trace(sample_clock().obs.tracer))]
+        assert names == ["outer", "childA", "childB", "grand"]
+
+    def test_instants_exported_with_scope(self):
+        trace = chrome_trace(sample_clock().obs.tracer)
+        (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "marker"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_multiple_tracers_get_distinct_pids(self):
+        a, b = sample_clock(), sample_clock()
+        trace = chrome_trace([("one", a.obs.tracer), ("two", b.obs.tracer)])
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {0, 1}
+        assert validate_trace(trace) == []
+
+    def test_dropped_spans_reported(self):
+        clock = SimClock()
+        clock.obs.enable_tracing(capacity=2)
+        for i in range(4):
+            with clock.obs.span(f"s{i}"):
+                clock.advance_us(1, "test")
+        trace = chrome_trace(clock.obs.tracer)
+        assert trace["otherData"]["dropped_spans"] == 2
+        # Evicted parents never invalidate the trace: orphans become roots.
+        assert validate_trace(trace) == []
+
+
+class TestValidator:
+    def test_rejects_missing_required_key(self):
+        trace = chrome_trace(sample_clock().obs.tracer)
+        del trace["traceEvents"][2]["name"]
+        assert any("missing required key 'name'" in e for e in validate_trace(trace))
+
+    def test_rejects_child_escaping_parent(self):
+        trace = chrome_trace(sample_clock().obs.tracer)
+        spans = by_name(trace)
+        spans["grand"]["dur"] = 10_000  # now ends far beyond childB
+        assert any("escapes parent" in e for e in validate_trace(trace))
+
+    def test_rejects_overlapping_siblings(self):
+        trace = chrome_trace(sample_clock().obs.tracer)
+        spans = by_name(trace)
+        spans["childA"]["dur"] = 40  # now straddles childB's start
+        errors = validate_trace(trace)
+        assert any("overlap" in e or "escapes" in e for e in errors)
+
+    def test_rejects_bad_phase(self):
+        trace = chrome_trace(sample_clock().obs.tracer)
+        trace["traceEvents"][2]["ph"] = "Z"
+        assert any("not in" in e for e in validate_trace(trace))

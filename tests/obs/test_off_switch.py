@@ -1,0 +1,107 @@
+"""The off-switch guarantee: tracing cannot change bytes or simulated time.
+
+Spans only *read* ``clock.now_us`` -- they never advance it and never touch
+the disk -- so the same workload run with tracing enabled and disabled must
+produce byte-identical packs and land the clock on the exact same
+microsecond.  These tests run the identical session twice and diff
+everything: every sector's header, label, and value words, the final clock
+position, and the per-category time tallies.
+"""
+
+from repro.disk import CachedDrive, DiskDrive, DiskImage, tiny_test_disk
+from repro.fs import FileSystem, Scavenger
+from repro.os import AltoOS
+
+
+def pack_bytes(image: DiskImage):
+    """Every sector of the pack, fully serialised."""
+    return [
+        (s.header.pack(), s.label.pack(), list(s.value))
+        for s in image.sectors()
+    ]
+
+
+def assert_identical(run):
+    """Run the session with tracing off and on; everything must match."""
+    image_off, clock_off = run(trace=False)
+    image_on, clock_on = run(trace=True)
+    assert clock_on.now_us == clock_off.now_us
+    assert clock_on.tallies() == clock_off.tallies()
+    assert pack_bytes(image_on) == pack_bytes(image_off)
+
+
+def fs_session(trace: bool, cached: bool):
+    """Creates, rewrites, deletes, syncs, then scavenges a small pack."""
+    image = DiskImage(tiny_test_disk(cylinders=12))
+    drive = CachedDrive(image) if cached else DiskDrive(image)
+    if trace:
+        drive.clock.obs.enable_tracing()
+    fs = FileSystem.format(drive)
+    for i in range(6):
+        fs.create_file(f"f{i}.dat").write_data(bytes([i]) * (300 * (i + 1)))
+    fs.open_file("f3.dat").write_data(b"rewritten" * 50)
+    fs.delete_file("f1.dat")
+    assert fs.open_file("f2.dat").read_data() == bytes([2]) * 900
+    fs.sync()
+    fs.flush()
+    Scavenger(DiskDrive(image, clock=drive.clock)).scavenge()
+    return image, drive.clock
+
+
+class TestFileSystemSession:
+    def test_plain_drive(self):
+        assert_identical(lambda trace: fs_session(trace, cached=False))
+
+    def test_cached_drive(self):
+        assert_identical(lambda trace: fs_session(trace, cached=True))
+
+
+def repl_session(trace: bool):
+    """A full REPL session through the Executive, ending in a scavenge."""
+    image = DiskImage(tiny_test_disk(cylinders=12))
+    drive = DiskDrive(image)
+    if trace:
+        drive.clock.obs.enable_tracing()
+    os = AltoOS.format(drive)
+    os.fs.create_file("ReadMe.txt").write_data(b"hello from the off-switch test\n")
+    script = "\n".join([
+        "ls",
+        "write note.txt observability",
+        "type note.txt",
+        "copy ReadMe.txt Copy.txt",
+        "free",
+        "scavenge",
+        "quit",
+    ]) + "\n"
+    output = os.run_executive(script)
+    return image, drive.clock, output
+
+
+class TestReplSession:
+    def test_full_session_identical(self):
+        image_off, clock_off, out_off = repl_session(trace=False)
+        image_on, clock_on, out_on = repl_session(trace=True)
+        assert out_on == out_off
+        assert clock_on.now_us == clock_off.now_us
+        assert clock_on.tallies() == clock_off.tallies()
+        assert pack_bytes(image_on) == pack_bytes(image_off)
+
+    def test_traced_run_actually_traced(self):
+        """Guard against the vacuous pass: the traced run must record spans."""
+        image, clock, _ = repl_session(trace=True)
+        names = {e.name for e in clock.obs.tracer.spans()}
+        assert "disk.transfer" in names
+        assert "fs.scavenge" in names
+
+
+class TestMetricsAreFree:
+    def test_reading_stats_advances_nothing(self):
+        image = DiskImage(tiny_test_disk())
+        drive = DiskDrive(image)
+        fs = FileSystem.format(drive)
+        before = drive.clock.now_us
+        stats = drive.clock.obs.stats()
+        snapshot = pack_bytes(image)
+        assert drive.clock.now_us == before
+        assert stats["disk.drive.commands"] > 0
+        assert pack_bytes(image) == snapshot
