@@ -4,121 +4,81 @@
 Two of the paper's configurations in one scenario:
 
 * "a file server program that uses only the non-standard big disk
-  nevertheless uses the standard disk stream package" -- the server runs a
-  completely standard FileSystem over the Diablo-44-class drive; and
+  nevertheless uses the standard disk stream package" -- the server is the
+  `repro.server` engine running a completely standard FileSystem over the
+  Diablo-44-class drive (through the write-back cache, so every poll
+  cycle's writes drain in one elevator sweep); and
 * "The display, keyboard, and storage-allocation packages have been
   assembled to form an operating system for use without a disk, used to
   support ... programs that depend on network communications rather than on
-  local disk storage" -- the client is that diskless assembly, fetching
-  files over the wire into zone storage.
+  local disk storage" -- the last client is that diskless assembly,
+  fetching a file over the wire and painting it on its display.
 
-The request protocol is deliberately homemade (an afternoon's user code):
-openness means nothing in the system had to change to support it.
+The wire format is the framed protocol of SERVER.md: 7-word headers,
+request ids, batched READs, an at-most-once replay cache behind every
+retry.  Openness means nothing in the system had to change to support any
+of it -- the server is user code above the Junta.
 """
 
-from repro import DiskDrive, DiskImage, FileSystem, diablo44
-from repro.errors import FileNotFound
-from repro.net import Packet, PacketNetwork, TYPE_CONTROL, network_read_stream, network_write_stream
+from repro import DiskImage, FileSystem, diablo44
+from repro.disk.cache import CachedDrive
+from repro.errors import RequestFailed
+from repro.net import PacketNetwork
 from repro.os import DisklessOS
-from repro.streams import open_read_stream, open_write_stream
-from repro.words import bytes_to_words, string_to_words, words_to_bytes, words_to_string
+from repro.server import FileClient, FileServer
 
 SERVER = "fileserver"
-CLIENT = "workstation"
-
-
-class FileServer:
-    """Serves GET <name> requests from its (big-disk) file system."""
-
-    def __init__(self, fs: FileSystem, network: PacketNetwork, host: str = SERVER) -> None:
-        self.fs = fs
-        self.network = network
-        self.host = host
-        self.requests_served = 0
-
-    def poll(self) -> int:
-        """Handle every pending request; returns requests served."""
-        served = 0
-        while True:
-            packet = self.network.receive(self.host)
-            if packet is None:
-                return served
-            if packet.ptype != TYPE_CONTROL:
-                continue
-            name = words_to_string(list(packet.payload))
-            self._serve(packet.source, name)
-            served += 1
-            self.requests_served += 1
-
-    def _serve(self, client: str, name: str) -> None:
-        try:
-            file = self.fs.open_file(name)
-            source = open_read_stream(file, update_dates=False)
-            data = bytearray()
-            while not source.endof():
-                data.append(source.get())
-            source.close()
-            data = bytes(data)
-        except FileNotFound:
-            data = f"?no such file: {name}".encode()
-        # Length-prefixed reply: byte count (2 words), then the data words,
-        # streamed straight off the standard disk stream package.
-        reply = network_write_stream(self.network, self.host, client)
-        reply.put(len(data) >> 16)
-        reply.put(len(data) & 0xFFFF)
-        for word in bytes_to_words(data):
-            reply.put(word)
-        reply.close()
-
-
-def fetch(client: DisklessOS, network: PacketNetwork, name: str, server: FileServer) -> bytes:
-    """The diskless client's side: request, let the server run, read."""
-    # Requests travel as control packets so data packets stay clean.
-    network.send(Packet(client.host, SERVER, TYPE_CONTROL,
-                        tuple(string_to_words(name))))
-    server.poll()
-
-    incoming = network_read_stream(network, client.host)
-    high, low = incoming.get(), incoming.get()
-    nbytes = (high << 16) | low
-    words = []
-    while not incoming.endof():
-        words.append(incoming.get())
-    return words_to_bytes(words, nbytes=min(nbytes, len(words) * 2))
 
 
 def main() -> None:
-    # --- the server machine: standard software, non-standard big disk --------
+    # --- the server machine: standard software, non-standard big disk -------
     big_disk = DiskImage(diablo44())
-    server_fs = FileSystem.format(DiskDrive(big_disk))
-    print(f"server pack: {big_disk.shape.name}, {big_disk.shape.capacity_bytes():,} bytes")
+    fs = FileSystem.format(CachedDrive(big_disk, cache_sectors=512))
+    print(f"server pack: {big_disk.shape.name}, "
+          f"{big_disk.shape.capacity_bytes():,} bytes")
 
-    for name, text in {
-        "readme.txt": "files live on the big disk; clients have none at all",
-        "sources.bcpl": "get Streams.bcpl\nget Disks.bcpl\nget Juntas.bcpl",
-    }.items():
-        stream = open_write_stream(server_fs.create_file(name))
-        for b in text.encode():
-            stream.put(b)
-        stream.close()
+    network = PacketNetwork(clock=fs.drive.clock)
+    network.attach(SERVER, queue_limit=4096)
+    server = FileServer(fs, network)
 
-    # --- the wire and the diskless client -------------------------------------
-    network = PacketNetwork(clock=server_fs.drive.clock)
-    network.attach(SERVER)
-    network.attach(CLIENT)
-    server = FileServer(server_fs, network)
-    client = DisklessOS(network=network, host=CLIENT)
+    # --- two workstations upload their files through the engine -------------
+    stations = []
+    for host in ("ws000", "ws001"):
+        network.attach(host)
+        stations.append(FileClient(network, host, pump=server.poll))
 
-    # --- fetch files across; display them on the client's screen ---------------
-    for name in ("readme.txt", "sources.bcpl", "missing.txt"):
-        data = fetch(client, network, name, server)
-        client.display.write(f"--- {name} ---\n{data.decode('ascii', 'replace')}\n")
+    uploads = {
+        "readme.txt": b"files live on the big disk; clients have none at all",
+        "sources.bcpl": b"get Streams.bcpl\nget Disks.bcpl\nget Juntas.bcpl",
+    }
+    for station, (name, data) in zip(stations, uploads.items()):
+        station.write_file(name, data)
+        print(f"{station.host} uploaded {name} ({len(data)} bytes)")
 
-    print(f"requests served: {server.requests_served}")
+    print("server sees:", ", ".join(sorted(
+        n for n in stations[0].listdir() if not n.endswith("Dir") and n != "DiskDescriptor")))
+
+    # --- the diskless client fetches a file and displays it ------------------
+    diskless = DisklessOS(network=network, host="diskless")
+    network.attach(diskless.host)
+    fetcher = FileClient(network, diskless.host, pump=server.poll)
+
+    for name in ("readme.txt", "missing.txt"):
+        try:
+            data = fetcher.read_file(name)
+            diskless.display.write(f"--- {name} ---\n"
+                                   f"{data.decode('ascii', 'replace')}\n")
+        except RequestFailed as exc:
+            diskless.display.write(f"?no such file: {name} ({exc.status})\n")
+
+    stats = server.stats()
+    print(f"requests served: {stats['server.requests']}, "
+          f"flushes: {stats['server.flushes']}, "
+          f"pages written: {stats['server.pages_written']}")
     print(f"network: {network.delivered} packets delivered")
     print()
     print("client display:")
-    for line in client.display.visible_lines():
+    for line in diskless.display.visible_lines():
         print("  |", line)
 
 

@@ -20,9 +20,14 @@ against checked-in baselines, reported as ``BENCH_PR2.json``.
 
 ``python -m repro stats`` runs a scripted session and prints the unified
 metrics snapshot (see :mod:`repro.obs`); ``--trace out.json`` on the REPL,
-``crashtest``, and ``bench`` subcommands additionally records simulated-time
-spans and writes them as Chrome ``trace_event`` JSON (open in Perfetto).
-See OBSERVABILITY.md.
+``crashtest``, ``serve``, and ``bench`` subcommands additionally records
+simulated-time spans and writes them as Chrome ``trace_event`` JSON (open
+in Perfetto).  See OBSERVABILITY.md.
+
+``python -m repro serve`` runs the file-server demo (see
+:mod:`repro.server`): N simulated workstations hammer one served
+FileSystem over the packet network, concurrently and then sequentially,
+and the throughput/latency comparison is printed.  See SERVER.md.
 """
 
 from __future__ import annotations
@@ -188,11 +193,83 @@ def crashtest(argv) -> int:
     return 0 if result.ok else 1
 
 
+def serve_cmd(argv) -> int:
+    """The ``serve`` subcommand: run the file-server load demo."""
+    import json as _json
+
+    from .server.loadgen import LoadGenerator, build_system
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="File-server demo: N workstations against one served pack",
+    )
+    parser.add_argument("--clients", type=int, default=8,
+                        help="simulated workstations (default 8)")
+    parser.add_argument("--seed", type=int, default=1979,
+                        help="seed for every client's workload data")
+    parser.add_argument("--file-bytes", type=int, default=2048,
+                        help="approximate size of each client's file")
+    parser.add_argument("--read-rounds", type=int, default=2,
+                        help="times each client reads its file back")
+    parser.add_argument("--uncached", action="store_true",
+                        help="serve from the plain drive (no write-back cache)")
+    parser.add_argument("--sequential-only", action="store_true",
+                        help="skip the concurrent run")
+    parser.add_argument("--concurrent-only", action="store_true",
+                        help="skip the sequential baseline")
+    parser.add_argument("--json", action="store_true",
+                        help="print results as JSON instead of a table")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record request spans and write a Chrome trace JSON")
+    args = parser.parse_args(argv)
+
+    def run(mode: str):
+        system = build_system(args.clients, seed=args.seed,
+                              cached=not args.uncached)
+        if args.trace:
+            system.clock.obs.enable_tracing()
+        generator = LoadGenerator(system, seed=args.seed,
+                                  file_bytes=args.file_bytes,
+                                  read_rounds=args.read_rounds)
+        result = generator.run() if mode == "concurrent" else generator.run_sequential()
+        return system, result
+
+    results = []
+    trace_system = None
+    if not args.sequential_only:
+        trace_system, concurrent = run("concurrent")
+        results.append(concurrent)
+    if not args.concurrent_only:
+        _, sequential = run("sequential")
+        results.append(sequential)
+
+    if args.json:
+        print(_json.dumps([r.to_json() for r in results], indent=1))
+    else:
+        for r in results:
+            print(f"{r.mode}: {r.clients} clients, {r.requests} requests, "
+                  f"{r.errors} errors")
+            print(f"  simulated {r.elapsed_s:.3f}s   {r.requests_per_sec:.2f} req/s   "
+                  f"p50 {r.p50_ms:.2f}ms   p99 {r.p99_ms:.2f}ms")
+            print(f"  retries {r.retries}  busy-retries {r.busy_retries}  "
+                  f"rejected {r.rejected}  flushes {r.flushes}")
+        if len(results) == 2 and results[0].elapsed_s > 0:
+            speedup = results[1].elapsed_s / results[0].elapsed_s
+            print(f"concurrent multiplexing speedup: x{speedup:.2f} "
+                  f"(one batched flush per poll, "
+                  f"{results[1].flushes} -> {results[0].flushes} flushes)")
+    if args.trace and trace_system is not None:
+        _write_repl_trace(args.trace, trace_system.fs.drive)
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "crashtest":
         return crashtest(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_cmd(argv[1:])
     if argv and argv[0] == "stats":
         return stats_cmd(argv[1:])
     if argv and argv[0] == "bench":

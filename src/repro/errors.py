@@ -242,3 +242,32 @@ class JuntaError(OSError_):
 
 class CommandError(OSError_):
     """The Executive could not parse or execute a command."""
+
+
+# ----------------------------------------------------------------------------
+# File-server errors (repro.server)
+# ----------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for file-server (``repro.server``) errors."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame could not be encoded or decoded."""
+
+
+class RequestTimeout(ServerError):
+    """The client exhausted its retries without receiving a response."""
+
+
+class RequestFailed(ServerError):
+    """The server answered with a non-OK status code.
+
+    Carries the :class:`~repro.server.protocol.Response` as ``response``
+    and the numeric status as ``status``.
+    """
+
+    def __init__(self, message: str, response=None) -> None:
+        super().__init__(message)
+        self.response = response
+        self.status = getattr(response, "status", None)

@@ -528,6 +528,16 @@ class Scavenger:
                     self.report.directories_rebuilt += 1
         if descriptor_key is None:
             self._recreate_descriptor()
+            # Claiming the standard address may have evicted one of the
+            # root's own pages (the root can be created just above, on a
+            # pack whose first free sector IS the standard address).
+            # _evict_address keeps the swept table current but not this
+            # live object, so reopen the root from the table — otherwise
+            # the stale leader address ends up inside the new descriptor's
+            # root hint and a later mount fails its label check.
+            root = Directory(
+                self._open_swept_file(root.file.fid.serial, root.file.fid.version)
+            )
         # Make the root's DiskDescriptor entry name the true descriptor now,
         # so directory verification and orphan rescue see consistent state
         # (a stale copy elsewhere must not shadow the pinned one).

@@ -6,6 +6,13 @@ module gives the reproduction the same shape: named hosts, word-payload
 packets, per-host receive queues, and delivery statistics -- enough to
 exercise the activity-switching world-swap discipline without modelling
 CSMA/CD.
+
+>>> net = PacketNetwork()
+>>> net.attach("alto"); net.attach("printserver")
+>>> net.send(Packet("alto", "printserver", TYPE_DATA, (1, 2, 3)))
+True
+>>> net.receive("printserver").payload
+(1, 2, 3)
 """
 
 from __future__ import annotations
@@ -35,7 +42,18 @@ MAX_PAYLOAD_WORDS = 256
 
 @dataclass(frozen=True)
 class Packet:
-    """One packet: addressing, a type word, and a word payload."""
+    """One packet: addressing, a type word, and a word payload.
+
+    Payload words must fit a 16-bit word, and at most
+    :data:`MAX_PAYLOAD_WORDS` of them fit one packet:
+
+    >>> Packet("a", "b", TYPE_DATA, (65535,)).destination
+    'b'
+    >>> Packet("a", "b", TYPE_DATA, tuple([0] * 257))
+    Traceback (most recent call last):
+        ...
+    repro.net.network.NetworkError: payload of 257 words exceeds 256
+    """
 
     source: str
     destination: str
@@ -50,7 +68,17 @@ class Packet:
 
 
 class PacketNetwork:
-    """Hosts with receive queues; delivery charges simulated wire time."""
+    """Hosts with receive queues; delivery charges simulated wire time.
+
+    >>> net = PacketNetwork()
+    >>> net.attach("a"); net.attach("b", queue_limit=1)
+    >>> net.send(Packet("a", "b", TYPE_DATA, (7,)))
+    True
+    >>> net.send(Packet("a", "b", TYPE_DATA, (8,)))   # queue full: dropped
+    False
+    >>> net.delivered, net.dropped
+    (1, 1)
+    """
 
     #: 3 Mbit/s Ethernet ~ 5.3 us per word of payload; round up generously
     #: to cover framing.
@@ -66,19 +94,44 @@ class PacketNetwork:
     # -- membership -----------------------------------------------------------------
 
     def attach(self, host: str, queue_limit: int = 1024) -> None:
+        """Join *host* to the network with a bounded receive queue.
+
+        >>> net = PacketNetwork()
+        >>> net.attach("alto")
+        >>> net.attach("alto")
+        Traceback (most recent call last):
+            ...
+        repro.net.network.NetworkError: host 'alto' already attached
+        """
         if host in self._queues:
             raise NetworkError(f"host {host!r} already attached")
         self._queues[host] = deque()
         self._limits[host] = queue_limit
 
     def hosts(self) -> List[str]:
+        """The attached host names, sorted.
+
+        >>> net = PacketNetwork()
+        >>> net.attach("b"); net.attach("a")
+        >>> net.hosts()
+        ['a', 'b']
+        """
         return sorted(self._queues)
 
     # -- sending and receiving ---------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
         """Deliver a packet; returns False (and counts a drop) when the
-        destination queue is full -- datagram semantics, no backpressure."""
+        destination queue is full -- datagram semantics, no backpressure.
+
+        Wire time is charged whether or not the packet is delivered:
+
+        >>> net = PacketNetwork()
+        >>> net.attach("a"); net.attach("b")
+        >>> _ = net.send(Packet("a", "b", TYPE_DATA, (1, 2)))
+        >>> net.clock.now_us                            # (2 + 4 words) * 6 us
+        36
+        """
         queue = self._queues.get(packet.destination)
         if queue is None:
             raise NetworkError(f"unknown destination {packet.destination!r}")
@@ -93,13 +146,27 @@ class PacketNetwork:
         return True
 
     def receive(self, host: str) -> Optional[Packet]:
-        """The next pending packet for *host*, or None."""
+        """The next pending packet for *host*, or None.
+
+        >>> net = PacketNetwork()
+        >>> net.attach("a")
+        >>> net.receive("a") is None
+        True
+        """
         queue = self._queues.get(host)
         if queue is None:
             raise NetworkError(f"unknown host {host!r}")
         return queue.popleft() if queue else None
 
     def pending(self, host: str) -> int:
+        """How many packets are queued for *host*.
+
+        >>> net = PacketNetwork()
+        >>> net.attach("a"); net.attach("b")
+        >>> _ = net.send(Packet("a", "b", TYPE_DATA, ()))
+        >>> net.pending("b")
+        1
+        """
         queue = self._queues.get(host)
         if queue is None:
             raise NetworkError(f"unknown host {host!r}")
@@ -115,7 +182,15 @@ def send_file(
     chunk_words: int = MAX_PAYLOAD_WORDS,
 ) -> int:
     """Transmit *data* as a print job: data packets then an end marker whose
-    payload is the job title (BCPL string).  Returns packets sent."""
+    payload is the job title (BCPL string).  Returns packets sent.
+
+    >>> net = PacketNetwork()
+    >>> net.attach("alto"); net.attach("printserver")
+    >>> send_file(net, "alto", "printserver", "memo", b"x" * 1024)
+    3
+    >>> net.receive("printserver").ptype == TYPE_DATA
+    True
+    """
     from ..words import bytes_to_words, string_to_words
 
     words = bytes_to_words(data)

@@ -36,7 +36,17 @@ SHUTDOWN_WORD = 0xDEAD
 
 
 class PrinterDevice:
-    """The printing hardware: consumes text, charges time per line."""
+    """The printing hardware: consumes text, charges time per line.
+
+    >>> from repro.clock import SimClock
+    >>> device = PrinterDevice(SimClock(), ms_per_line=20.0)
+    >>> device.print_job("memo", "line one\\nline two")
+    2
+    >>> device.clock.now_us                        # 2 lines * 20 ms
+    40000
+    >>> device.jobs_printed
+    [('memo', 2)]
+    """
 
     def __init__(self, clock, ms_per_line: float = 20.0, columns: int = 80) -> None:
         self.clock = clock
@@ -60,7 +70,16 @@ class PrinterDevice:
 
 
 def read_queue(fs) -> List[str]:
-    """Job-data file names queued, in arrival order."""
+    """Job-data file names queued, in arrival order.
+
+    >>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+    >>> fs = FileSystem.format(DiskDrive(DiskImage(tiny_test_disk())))
+    >>> read_queue(fs)                             # no queue file yet
+    []
+    >>> write_queue(fs, ["Spool.job.1.memo"])
+    >>> read_queue(fs)
+    ['Spool.job.1.memo']
+    """
     try:
         file = fs.open_file(QUEUE_FILE)
     except FileNotFound:
@@ -70,6 +89,7 @@ def read_queue(fs) -> List[str]:
 
 
 def write_queue(fs, entries: List[str]) -> None:
+    """Replace the on-disk spool queue with *entries* (see :func:`read_queue`)."""
     try:
         file = fs.open_file(QUEUE_FILE)
     except FileNotFound:
@@ -92,6 +112,16 @@ def build_printing_server(
 
     (Binding by closure is the stand-in for the device driver code that was
     part of each task's memory image.)
+
+    >>> from repro.clock import SimClock
+    >>> from repro.net.network import PacketNetwork
+    >>> from repro.world.swap import ProgramRegistry
+    >>> clock = SimClock()
+    >>> registry = ProgramRegistry()
+    >>> network = PacketNetwork(clock=clock); network.attach("printserver")
+    >>> build_printing_server(registry, network, PrinterDevice(clock))
+    >>> registry.names()
+    ['printer', 'spooler']
     """
 
     class Spooler(WorldProgram):
@@ -191,5 +221,21 @@ def build_printing_server(
 
 
 def bootstrap_printer_state(engine) -> None:
-    """Write an initial printer state file so the spooler can call it."""
+    """Write an initial printer state file so the spooler can call it.
+
+    >>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+    >>> from repro.clock import SimClock
+    >>> from repro.world import Machine, ProgramRegistry, WorldEngine
+    >>> fs = FileSystem.format(
+    ...     DiskDrive(DiskImage(tiny_test_disk(cylinders=80))))
+    >>> network = PacketNetwork(clock=fs.drive.clock)
+    >>> network.attach("printserver")
+    >>> registry = ProgramRegistry()
+    >>> build_printing_server(registry, network,
+    ...                       PrinterDevice(fs.drive.clock))
+    >>> engine = WorldEngine(Machine(), fs, registry)
+    >>> bootstrap_printer_state(engine)
+    >>> PRINTER_STATE in fs.list_files()
+    True
+    """
     engine.swapper.outload(PRINTER_STATE, "printer", "start")

@@ -6,6 +6,16 @@ read stream produces the payload words of successive packets addressed to a
 host; a write stream batches put words into packets.  Both are ordinary
 stream records -- one more demonstration that the protocol of section 2 is
 the interface, not any particular device.
+
+>>> from repro.net.network import PacketNetwork
+>>> net = PacketNetwork(); net.attach("a"); net.attach("b")
+>>> writer = network_write_stream(net, "a", "b", packet_words=2)
+>>> for word in (10, 20, 30):
+...     writer.put(word)
+>>> writer.close()                               # flushes the short tail
+>>> reader = network_read_stream(net, "b")
+>>> [reader.get() for _ in range(3)]
+[10, 20, 30]
 """
 
 from __future__ import annotations
@@ -22,6 +32,15 @@ def network_read_stream(network: PacketNetwork, host: str) -> Stream:
 
     ``endof`` means "nothing pending right now" (a network stream has no
     true end, like the keyboard).  Non-data packets are passed over.
+
+    >>> from repro.net.network import Packet, PacketNetwork, TYPE_DATA
+    >>> net = PacketNetwork(); net.attach("a"); net.attach("b")
+    >>> _ = net.send(Packet("a", "b", TYPE_DATA, (5, 6)))
+    >>> reader = network_read_stream(net, "b")
+    >>> reader.get(), reader.get(), reader.endof()
+    (5, 6, True)
+    >>> reader.call("source")                    # who sent the last packet
+    'a'
     """
 
     def _fill(stream: Stream) -> bool:
@@ -69,7 +88,17 @@ def network_write_stream(
 ) -> Stream:
     """Consume words into data packets; ``flush``/``close`` sends the tail.
 
-    A full buffer sends immediately, so long transfers pipeline.
+    A full buffer sends immediately, so long transfers pipeline:
+
+    >>> from repro.net.network import PacketNetwork
+    >>> net = PacketNetwork(); net.attach("a"); net.attach("b")
+    >>> writer = network_write_stream(net, "a", "b", packet_words=2)
+    >>> writer.put(1); writer.put(2)             # full buffer: sent now
+    >>> net.pending("b")
+    1
+    >>> writer.put(3); writer.call("flush")      # short tail on demand
+    >>> net.receive("b").payload, net.receive("b").payload
+    ((1, 2), (3,))
     """
     if not 1 <= packet_words <= MAX_PAYLOAD_WORDS:
         raise ValueError(f"packet size must be 1..{MAX_PAYLOAD_WORDS}")

@@ -1,0 +1,363 @@
+"""The request engine: many client sessions multiplexed onto one FileSystem.
+
+:class:`FileServer` is a deterministic, simulated-time, event-driven
+server.  ``poll()`` is the whole event loop: ingest packets into frames,
+admit frames under a bounded queue (rejecting the overflow with
+``ST_BUSY`` -- backpressure the client's retry/backoff absorbs), service
+the admitted requests in per-client round-robin order (fairness), and
+finish with **one** write-back flush covering every write the cycle
+performed -- so the dirty sectors of many requests drain through the
+elevator scheduler in a single sweep instead of one small drain per
+request.  That single-flush batching is where multiplexed serving beats
+sequential serving (see ``benchmarks/bench_server.py``).
+
+Everything is observable: each request runs under a ``server.request``
+span, and the engine keeps counters/gauges in the machine's metrics
+registry (``server.requests``, ``server.rejected``, ``server.queue.depth``,
+``server.request_us``, ...; see OBSERVABILITY.md).
+
+>>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+>>> from repro.net import PacketNetwork
+>>> from repro.server import FileClient, FileServer
+>>> fs = FileSystem.format(DiskDrive(DiskImage(tiny_test_disk())))
+>>> net = PacketNetwork(clock=fs.drive.clock)
+>>> net.attach("fileserver"); net.attach("ws")
+>>> server = FileServer(fs, net)
+>>> client = FileClient(net, "ws", pump=server.poll)
+>>> client.write_file("memo.txt", b"an afternoon's user code")
+24
+>>> client.read_file("memo.txt")
+b"an afternoon's user code"
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import (
+    DirectoryError,
+    DiskFull,
+    FileNotFound,
+    FileSystemError,
+    ProtocolError,
+)
+from ..fs.file import FULL_PAGE
+from ..net.network import Packet, PacketNetwork
+from ..words import words_to_string
+from .protocol import (
+    FLAG_CREATE,
+    FrameAssembler,
+    MAX_BATCH_PAGES,
+    OP_CLOSE,
+    OP_LIST,
+    OP_OPEN,
+    OP_READ,
+    OP_WRITE,
+    Request,
+    Response,
+    ST_BAD_HANDLE,
+    ST_BAD_PAGE,
+    ST_BAD_REQUEST,
+    ST_BUSY,
+    ST_ERROR,
+    ST_NAMES,
+    ST_NOT_FOUND,
+    ST_OK,
+    encode_response,
+)
+
+#: Default bound on admitted-but-unserviced requests across all clients.
+DEFAULT_MAX_PENDING = 64
+
+#: Simulated CPU cost charged per serviced request (decode + dispatch).
+SERVICE_CPU_US = 150
+
+#: Simulated CPU cost charged per ``poll()`` wakeup (queue scan, flush
+#: decision) -- the fixed cost that batching amortizes.
+POLL_CPU_US = 300
+
+
+class FileServer:
+    """Serves the wire protocol of :mod:`repro.server.protocol` over a
+    :class:`~repro.net.network.PacketNetwork` from one
+    :class:`~repro.fs.filesystem.FileSystem`.
+
+    The server is passive: it runs only when :meth:`poll` is called, which
+    keeps every run deterministic -- the interleaving is exactly the
+    caller's schedule.  ``quantum`` requests are serviced per client per
+    round-robin turn (default 1: strict alternation under load).
+    """
+
+    def __init__(
+        self,
+        fs,
+        network: PacketNetwork,
+        host: str = "fileserver",
+        max_pending: int = DEFAULT_MAX_PENDING,
+        quantum: int = 1,
+    ) -> None:
+        self.fs = fs
+        self.network = network
+        self.host = host
+        self.max_pending = max_pending
+        self.quantum = quantum
+        self.clock = fs.drive.clock
+        self.obs = self.clock.obs
+        self.assembler = FrameAssembler()
+        from .session import Session
+
+        self._session_type = Session
+        self.sessions: Dict[str, "Session"] = {}
+        #: Per-client admission queues, serviced round-robin.
+        self._queues: "OrderedDict[str, Deque[Tuple[Request, int]]]" = OrderedDict()
+        self._pending = 0
+        registry = self.obs.registry
+        self._c_requests = registry.counter("server.requests")
+        self._c_rejected = registry.counter("server.rejected")
+        self._c_replayed = registry.counter("server.replayed")
+        self._c_errors = registry.counter("server.errors")
+        self._c_flushes = registry.counter("server.flushes")
+        self._c_polls = registry.counter("server.polls")
+        self._c_pages_read = registry.counter("server.pages_read")
+        self._c_pages_written = registry.counter("server.pages_written")
+        self._c_sessions = registry.counter("server.sessions")
+        self._g_depth = registry.gauge("server.queue.depth")
+        self._h_request_us = registry.histogram("server.request_us")
+
+    # ------------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------------
+
+    def poll(self, budget: Optional[int] = None) -> int:
+        """Run one event-loop cycle; returns the number of requests served.
+
+        Ingest -> admit -> service round-robin (up to *budget* requests)
+        -> one batched flush.  Requests left unserviced by a budget stay
+        queued for the next cycle.
+        """
+        self._c_polls.inc()
+        self.clock.advance_us(POLL_CPU_US, "server.cpu")
+        self._ingest()
+        served = 0
+        wrote = False
+        while self._pending and (budget is None or served < budget):
+            for client in list(self._queues):
+                queue = self._queues.get(client)
+                if not queue:
+                    continue
+                for _ in range(min(self.quantum, len(queue))):
+                    if budget is not None and served >= budget:
+                        break
+                    request, admitted_us = queue.popleft()
+                    self._pending -= 1
+                    self._g_depth.set(self._pending)
+                    wrote |= self._service(client, request, admitted_us)
+                    served += 1
+            if budget is not None and served >= budget:
+                break
+        if wrote:
+            with self.obs.span("server.flush", "server"):
+                drained = self.fs.flush()
+            self._c_flushes.inc()
+            for session in self.sessions.values():
+                for handle in session.handles.values():
+                    handle.wrote = False
+            del drained
+        return served
+
+    def _ingest(self) -> None:
+        """Drain the receive queue; admit complete frames or reject busy."""
+        while True:
+            packet = self.network.receive(self.host)
+            if packet is None:
+                return
+            try:
+                completed = self.assembler.feed(packet)
+            except ProtocolError:
+                self._c_errors.inc()
+                continue
+            if completed is None:
+                continue
+            source, frame = completed
+            if not isinstance(frame, Request):
+                self._c_errors.inc()
+                continue
+            if self._pending >= self.max_pending:
+                self._c_rejected.inc()
+                self._respond(source, Response(ST_BUSY, frame.request_id))
+                continue
+            self._queues.setdefault(source, deque()).append(
+                (frame, self.clock.now_us))
+            self._pending += 1
+            self._g_depth.set(self._pending)
+
+    # ------------------------------------------------------------------------
+    # Request service
+    # ------------------------------------------------------------------------
+
+    def _service(self, client: str, request: Request, admitted_us: int) -> bool:
+        """Execute one admitted request; returns True when it wrote."""
+        session = self.sessions.get(client)
+        if session is None:
+            session = self.sessions[client] = self._session_type(client)
+            self._c_sessions.inc()
+        cached = session.replay(request.request_id)
+        if cached is not None:
+            self._c_replayed.inc()
+            for packet in cached:
+                self.network.send(packet)
+            return False
+        self.clock.advance_us(SERVICE_CPU_US, "server.cpu")
+        with self.obs.span("server.request", "server", op=request.op_name,
+                           client=client) as span:
+            wrote = False
+            try:
+                response, wrote = self._dispatch(session, request)
+            except (DiskFull, FileSystemError) as exc:
+                self._c_errors.inc()
+                response = Response(ST_ERROR, request.request_id)
+                span.annotate(error=type(exc).__name__)
+            if response.status != ST_OK:
+                span.annotate(status=ST_NAMES[response.status])
+            self._c_requests.inc()
+            session.requests_served += 1
+            self._h_request_us.observe(self.clock.now_us - admitted_us)
+            packets = self._respond(client, response)
+            session.remember(request.request_id, packets)
+            return wrote
+
+    def _respond(self, client: str, response: Response) -> List[Packet]:
+        packets = encode_response(response, self.host, client)
+        for packet in packets:
+            self.network.send(packet)
+        return packets
+
+    def _dispatch(self, session, request: Request) -> Tuple[Response, bool]:
+        if request.op == OP_OPEN:
+            return self._do_open(session, request), False
+        if request.op == OP_READ:
+            return self._do_read(session, request), False
+        if request.op == OP_WRITE:
+            return self._do_write(session, request)
+        if request.op == OP_CLOSE:
+            return self._do_close(session, request), False
+        if request.op == OP_LIST:
+            return self._do_list(request), False
+        return Response(ST_BAD_REQUEST, request.request_id), False
+
+    # -- the five operations --------------------------------------------------
+
+    def _do_open(self, session, request: Request) -> Response:
+        try:
+            name = words_to_string(list(request.payload))
+        except Exception:
+            return Response(ST_BAD_REQUEST, request.request_id)
+        if not name:
+            return Response(ST_BAD_REQUEST, request.request_id)
+        try:
+            file = self.fs.open_file(name)
+        except (FileNotFound, DirectoryError):
+            if not request.arg0 & FLAG_CREATE:
+                return Response(ST_NOT_FOUND, request.request_id)
+            file = self.fs.create_file(name)
+        handle = session.grant(file, name, now_us=self.clock.now_us)
+        size = file.byte_length
+        return Response(ST_OK, request.request_id, handle=handle,
+                        result0=size >> 16, result1=size & 0xFFFF)
+
+    def _do_read(self, session, request: Request) -> Response:
+        handle = session.resolve(request.handle)
+        if handle is None:
+            return Response(ST_BAD_HANDLE, request.request_id)
+        first, count = request.arg0, request.arg1
+        if first < 1 or not 1 <= count <= MAX_BATCH_PAGES:
+            return Response(ST_BAD_REQUEST, request.request_id)
+        last = handle.file.last_page_number
+        if first > last:
+            return Response(ST_OK, request.request_id, handle=request.handle)
+        pages = min(count, last - first + 1)
+        payload: List[int] = []
+        tail_bytes = 0
+        for page in range(first, first + pages):
+            contents = handle.file.read_page(page)
+            payload.extend(contents.value)
+            tail_bytes = contents.label.length
+        handle.pages_read += pages
+        self._c_pages_read.inc(pages)
+        session.read_cursor = (request.handle, first + pages)
+        return Response(ST_OK, request.request_id, handle=request.handle,
+                        result0=pages, result1=tail_bytes,
+                        payload=tuple(payload))
+
+    def _do_write(self, session, request: Request) -> Tuple[Response, bool]:
+        handle = session.resolve(request.handle)
+        if handle is None:
+            return Response(ST_BAD_HANDLE, request.request_id), False
+        page, nbytes = request.arg0, request.arg1
+        words = list(request.payload)
+        if page < 1 or nbytes > FULL_PAGE or len(words) * 2 < nbytes:
+            return Response(ST_BAD_REQUEST, request.request_id), False
+        file = handle.file
+        last = file.last_page_number
+        try:
+            if nbytes == FULL_PAGE:
+                # A full page is staged with L=0 when it is (still) the
+                # tail; the next append promotes it to an interior L=512
+                # page.  Uploads therefore always end with a short page
+                # (possibly empty), exactly like AltoFile.write_data.
+                if page == last:
+                    file.write_last_page(words, 0)
+                elif page == last + 1:
+                    file.append_page(words, 0)
+                elif page < last:
+                    file.write_full_page(page, words)
+                else:
+                    return Response(ST_BAD_PAGE, request.request_id), False
+            else:
+                if page == last + 1:
+                    file.append_page(words, nbytes)
+                elif 1 <= page <= last:
+                    # A short page is a tail by definition: drop any pages
+                    # beyond it (the protocol's only way to shrink a file),
+                    # then the change-length write sets L.
+                    while file.last_page_number > page:
+                        file.truncate_last_page()
+                    file.write_last_page(words, nbytes)
+                else:
+                    return Response(ST_BAD_PAGE, request.request_id), False
+        except ValueError:
+            return Response(ST_BAD_REQUEST, request.request_id), False
+        handle.pages_written += 1
+        handle.wrote = True
+        self._c_pages_written.inc()
+        return Response(ST_OK, request.request_id, handle=request.handle,
+                        result0=file.last_page_number), True
+
+    def _do_close(self, session, request: Request) -> Response:
+        if not session.release(request.handle):
+            return Response(ST_BAD_HANDLE, request.request_id)
+        return Response(ST_OK, request.request_id)
+
+    def _do_list(self, request: Request) -> Response:
+        from ..words import string_to_words
+
+        names = self.fs.list_files()
+        payload: List[int] = []
+        for name in names:
+            words = string_to_words(name)
+            payload.append(len(words))
+            payload.extend(words)
+        return Response(ST_OK, request.request_id, result0=len(names),
+                        payload=tuple(payload))
+
+    # ------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """The server's own counters out of the unified snapshot."""
+        return {name: value for name, value in self.obs.stats().items()
+                if name.startswith("server.")}
+
+    def __repr__(self) -> str:
+        return (f"FileServer({self.host!r}, sessions={len(self.sessions)}, "
+                f"pending={self._pending})")

@@ -1,0 +1,289 @@
+"""The load generator: a deterministic multi-client request schedule.
+
+Builds N clients, gives each a seeded script (upload a private file, read
+it back in batched sequential READs, list the directory), and drives all
+of them **concurrently**: each driver round lets every idle client issue
+its next request, runs one ``server.poll()`` (which services the whole
+admitted batch and flushes once), then collects responses and latencies.
+:meth:`LoadGenerator.run_sequential` replays the identical scripts one
+client at a time -- the baseline that shows what multiplexing buys.
+
+Everything derives from one seed, so two runs with the same seed and
+schedule produce byte-identical disk images and identical metrics
+snapshots (``tests/server/test_determinism.py`` proves it).
+
+>>> from repro.server.loadgen import build_system, LoadGenerator
+>>> system = build_system(clients=2, seed=7)
+>>> result = LoadGenerator(system, file_bytes=600, read_rounds=1).run()
+>>> result.clients, result.requests > 0, result.errors
+(2, True, 0)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..disk.cache import CachedDrive
+from ..disk.drive import DiskDrive
+from ..disk.geometry import diablo31, tiny_test_disk
+from ..disk.image import DiskImage
+from ..fs.filesystem import FileSystem
+from ..net.network import PacketNetwork
+from .client import FileClient, PendingRequest
+from .engine import FileServer
+from .protocol import Request, Response, ST_OK
+
+#: Maximum driver rounds with zero progress before declaring livelock.
+STALL_LIMIT = 10_000
+
+
+@dataclass
+class ServedSystem:
+    """One simulated machine room: server FS, wire, server, clients."""
+
+    fs: FileSystem
+    network: PacketNetwork
+    server: FileServer
+    clients: List[FileClient]
+
+    @property
+    def clock(self):
+        return self.fs.drive.clock
+
+
+def build_system(
+    clients: int,
+    seed: int = 1979,
+    cached: bool = True,
+    cache_sectors: int = 512,
+    big_disk: bool = False,
+    max_pending: int = 128,
+    tiny: bool = False,
+) -> ServedSystem:
+    """Format a pack and attach a server plus *clients* workstations.
+
+    ``cached=True`` (the default) serves from the write-back
+    :class:`~repro.disk.cache.CachedDrive`, which is what gives the
+    engine's one-flush-per-poll batching its bite; ``tiny=True`` uses the
+    small test geometry for fast unit tests.
+    """
+    if tiny:
+        shape = tiny_test_disk(cylinders=40)
+    else:
+        shape = diablo31()
+    image = DiskImage(shape)
+    drive = (CachedDrive(image, cache_sectors=cache_sectors)
+             if cached else DiskDrive(image))
+    fs = FileSystem.format(drive)
+    network = PacketNetwork(clock=drive.clock)
+    network.attach("fileserver", queue_limit=4096)
+    server = FileServer(fs, network, max_pending=max_pending)
+    stations = []
+    for index in range(clients):
+        host = f"ws{index:03d}"
+        network.attach(host)
+        stations.append(FileClient(network, host))
+    del seed  # reserved for future topology randomization; kept for API stability
+    return ServedSystem(fs, network, server, stations)
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one load run (all times simulated)."""
+
+    mode: str
+    clients: int
+    requests: int
+    elapsed_s: float
+    requests_per_sec: float
+    p50_ms: float
+    p99_ms: float
+    retries: int
+    busy_retries: int
+    rejected: int
+    flushes: int
+    errors: int
+    bytes_written: int
+    bytes_read: int
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+
+    def to_json(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items() if k != "latencies_ms"}
+        return out
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def client_script(client: FileClient, name: str, data: bytes,
+                  read_rounds: int, with_list: bool
+                  ) -> Generator[Request, Response, None]:
+    """The per-client workload as a request generator.
+
+    Yields requests, receives responses -- the driver decides when each
+    request actually runs, so the same script serves both the concurrent
+    and the sequential mode.
+    """
+    from ..fs.file import FULL_PAGE
+
+    response = yield client.build_open(name, create=True)
+    handle = response.handle
+    n_full = len(data) // FULL_PAGE
+    for page in range(1, n_full + 1):
+        yield client.build_write(handle, page,
+                                 data[(page - 1) * FULL_PAGE: page * FULL_PAGE])
+    yield client.build_write(handle, n_full + 1, data[n_full * FULL_PAGE:])
+    yield client.build_close(handle)
+
+    for _ in range(read_rounds):
+        response = yield client.build_open(name)
+        handle = response.handle
+        size = (response.result0 << 16) | response.result1
+        pages = max(1, (size + FULL_PAGE - 1) // FULL_PAGE)
+        page = 1
+        while page <= pages:
+            want = min(client.read_batch_pages, pages - page + 1)
+            response = yield client.build_read(handle, page, want)
+            page += max(1, response.result0)
+        yield client.build_close(handle)
+    if with_list:
+        yield client.build_list()
+
+
+class LoadGenerator:
+    """Drives every client's script against one server, two ways."""
+
+    def __init__(
+        self,
+        system: ServedSystem,
+        seed: int = 1979,
+        file_bytes: int = 2048,
+        read_rounds: int = 2,
+        with_list: bool = True,
+    ) -> None:
+        self.system = system
+        self.seed = seed
+        self.file_bytes = file_bytes
+        self.read_rounds = read_rounds
+        self.with_list = with_list
+
+    def _scripts(self):
+        rng = random.Random(self.seed)
+        scripts = []
+        for index, client in enumerate(self.system.clients):
+            size = self.file_bytes + rng.randrange(0, 256)
+            data = bytes(rng.randrange(256) for _ in range(size))
+            scripts.append((client,
+                            client_script(client, f"load{index:03d}.dat", data,
+                                          self.read_rounds, self.with_list),
+                            size))
+        return scripts
+
+    def _result(self, mode: str, requests: int, errors: int,
+                latencies_us: List[int], elapsed_us: int,
+                bytes_written: int) -> LoadResult:
+        stats = self.system.clock.obs.stats()
+        latencies_ms = sorted(us / 1000.0 for us in latencies_us)
+        elapsed_s = elapsed_us / 1_000_000.0
+        return LoadResult(
+            mode=mode,
+            clients=len(self.system.clients),
+            requests=requests,
+            elapsed_s=round(elapsed_s, 6),
+            requests_per_sec=round(requests / elapsed_s, 3) if elapsed_us else 0.0,
+            p50_ms=round(percentile(latencies_ms, 0.50), 3),
+            p99_ms=round(percentile(latencies_ms, 0.99), 3),
+            retries=int(stats.get("server.client.retries", 0)),
+            busy_retries=int(stats.get("server.client.busy_retries", 0)),
+            rejected=int(stats.get("server.rejected", 0)),
+            flushes=int(stats.get("server.flushes", 0)),
+            errors=errors,
+            bytes_written=bytes_written,
+            bytes_read=int(stats.get("server.pages_read", 0)) * 512,
+            latencies_ms=latencies_ms,
+        )
+
+    def run(self) -> LoadResult:
+        """Concurrent mode: all clients in flight, one poll per round."""
+        system = self.system
+        scripts = self._scripts()
+        started_us = system.clock.now_us
+        active: Dict[FileClient, Generator] = {c: g for c, g, _ in scripts}
+        bytes_written = sum(size for _, _, size in scripts)
+        pendings: Dict[FileClient, PendingRequest] = {}
+        responses: Dict[FileClient, Optional[Response]] = {c: None for c in active}
+        latencies: List[int] = []
+        requests = errors = 0
+        stalls = 0
+        while active or pendings:
+            for client in list(active):
+                if client in pendings:
+                    continue
+                try:
+                    request = active[client].send(responses[client])
+                except StopIteration:
+                    del active[client]
+                    continue
+                pendings[client] = client.submit(request)
+            system.server.poll()
+            progressed = False
+            for client in list(pendings):
+                pending = pendings[client]
+                response = client.step(pending)
+                if response is None:
+                    continue
+                progressed = True
+                del pendings[client]
+                latencies.append(system.clock.now_us - pending.first_sent_us)
+                requests += 1
+                if response.status != ST_OK:
+                    errors += 1
+                responses[client] = response
+            if progressed:
+                stalls = 0
+            else:
+                stalls += 1
+                if stalls > STALL_LIMIT:
+                    raise RuntimeError("load generator stalled: no client "
+                                       "progressed for too many rounds")
+                system.clock.advance_us(1_000, "server.client.wait")
+        return self._result("concurrent", requests, errors, latencies,
+                            system.clock.now_us - started_us, bytes_written)
+
+    def run_sequential(self) -> LoadResult:
+        """Baseline mode: the same scripts, one client finishing at a time."""
+        system = self.system
+        scripts = self._scripts()
+        started_us = system.clock.now_us
+        latencies: List[int] = []
+        requests = errors = 0
+        bytes_written = sum(size for _, _, size in scripts)
+        for client, script, _ in scripts:
+            client.pump = system.server.poll
+            response = None
+            while True:
+                try:
+                    request = script.send(response)
+                except StopIteration:
+                    break
+                pending = client.submit(request)
+                while True:
+                    system.server.poll()
+                    response = client.step(pending)
+                    if response is not None:
+                        break
+                    system.clock.advance_us(client.poll_interval_us,
+                                            "server.client.wait")
+                latencies.append(system.clock.now_us - pending.first_sent_us)
+                requests += 1
+                if response.status != ST_OK:
+                    errors += 1
+        return self._result("sequential", requests, errors, latencies,
+                            system.clock.now_us - started_us, bytes_written)

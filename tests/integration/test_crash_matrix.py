@@ -111,6 +111,40 @@ class TestCrashMatrix:
         assert second.garbage_labels_freed == 0
         assert second.entries_nulled == 0
 
+    def test_root_and_descriptor_leaders_both_destroyed(self):
+        """Regression: found by hypothesis (seed=9999).
+
+        When *both* the descriptor's and the root directory's leader labels
+        are destroyed, the scavenger recreates the root first and may place
+        its new leader on the pack's first free sector -- which is exactly
+        the standard descriptor address.  Recreating the descriptor then
+        evicts that leader; the rewritten descriptor must carry the moved
+        address, not the stale one, or the next mount fails its label check.
+        """
+        from repro.fs.descriptor import DESCRIPTOR_LEADER_ADDRESS
+
+        image, payloads, _ = build_populated_image(seed=9999)
+        injector = FaultInjector(image, seed=1)
+        # The descriptor's leader sits at the one absolute address; the
+        # root directory's leader is the in-use directory page right after
+        # the descriptor's chain (label page number 1 == file page 0).
+        root_leader = next(
+            s.header.address for s in image.sectors()
+            if s.label.is_directory and s.label.page_number == 1
+        )
+        injector.scramble_label(DESCRIPTOR_LEADER_ADDRESS)
+        injector.scramble_label(root_leader)
+
+        Scavenger(DiskDrive(image)).scavenge()
+        fs = FileSystem.mount(DiskDrive(image))  # must not raise HintFailed
+        for name, data in payloads.items():
+            found = next(
+                (c for c in fs.list_files()
+                 if c == name or c.startswith(name + "!")), None)
+            assert found is not None, f"{name} unreachable after scavenge"
+            assert fs.open_file(found).read_data() == data
+
+
 class TestCrashPointSweep:
     """Exhaustive crash-point enumeration (the ISSUE 1 tentpole applied).
 

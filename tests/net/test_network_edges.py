@@ -1,0 +1,115 @@
+"""Edge cases of the packet substrate: boundary payloads, unknown hosts,
+and the exact semantics of per-host receive-queue overflow.
+
+These pin the datagram contract the file server's retry machinery is
+built on: drops are silent to the sender beyond the ``False`` return, a
+dropped packet still costs wire time, and a drained queue accepts again.
+"""
+
+import pytest
+
+from repro.net.network import (
+    MAX_PAYLOAD_WORDS,
+    NetworkError,
+    Packet,
+    PacketNetwork,
+    TYPE_DATA,
+)
+
+
+@pytest.fixture
+def net():
+    network = PacketNetwork()
+    network.attach("a")
+    network.attach("b")
+    return network
+
+
+# -- payload boundaries -------------------------------------------------------
+
+
+def test_payload_at_exact_limit_is_accepted(net):
+    packet = Packet("a", "b", TYPE_DATA, tuple([7] * MAX_PAYLOAD_WORDS))
+    assert net.send(packet)
+    assert net.receive("b").payload == packet.payload
+
+
+def test_payload_one_word_over_limit_is_rejected():
+    with pytest.raises(NetworkError):
+        Packet("a", "b", TYPE_DATA, tuple([7] * (MAX_PAYLOAD_WORDS + 1)))
+
+
+def test_empty_payload_is_a_valid_packet(net):
+    assert net.send(Packet("a", "b", TYPE_DATA, ()))
+    assert net.receive("b").payload == ()
+
+
+@pytest.mark.parametrize("bad_word", [-1, 0x10000])
+def test_out_of_range_payload_word_is_rejected(bad_word):
+    with pytest.raises(Exception):
+        Packet("a", "b", TYPE_DATA, (bad_word,))
+
+
+# -- unknown hosts ------------------------------------------------------------
+
+
+def test_send_to_detached_destination_raises(net):
+    with pytest.raises(NetworkError):
+        net.send(Packet("a", "ghost", TYPE_DATA, (1,)))
+
+
+def test_unknown_source_is_not_validated(net):
+    """Sources are labels, not registrations -- a spoofed source delivers
+    (the server's sessions are keyed by whatever the packet claims)."""
+    assert net.send(Packet("nobody", "b", TYPE_DATA, (1,)))
+    assert net.receive("b").source == "nobody"
+
+
+def test_receive_and_pending_require_attachment(net):
+    with pytest.raises(NetworkError):
+        net.receive("ghost")
+    with pytest.raises(NetworkError):
+        net.pending("ghost")
+
+
+# -- receive-queue overflow ---------------------------------------------------
+
+
+def test_overflow_keeps_the_oldest_packets(net):
+    net.attach("tiny", queue_limit=2)
+    sent = [net.send(Packet("a", "tiny", TYPE_DATA, (n,))) for n in range(4)]
+    assert sent == [True, True, False, False]
+    assert net.delivered == 2 and net.dropped == 2
+    assert [net.receive("tiny").payload[0] for _ in range(2)] == [0, 1]
+    assert net.receive("tiny") is None
+
+
+def test_dropped_packet_still_costs_wire_time(net):
+    net.attach("tiny", queue_limit=1)
+    net.send(Packet("a", "tiny", TYPE_DATA, (1, 2)))
+    before = net.clock.now_us
+    assert not net.send(Packet("a", "tiny", TYPE_DATA, (1, 2)))
+    assert net.clock.now_us - before == (2 + 4) * PacketNetwork.WIRE_US_PER_WORD
+
+
+def test_drained_queue_accepts_again(net):
+    net.attach("tiny", queue_limit=1)
+    assert net.send(Packet("a", "tiny", TYPE_DATA, (1,)))
+    assert not net.send(Packet("a", "tiny", TYPE_DATA, (2,)))
+    assert net.receive("tiny").payload == (1,)
+    assert net.send(Packet("a", "tiny", TYPE_DATA, (3,)))
+    assert net.receive("tiny").payload == (3,)
+
+
+def test_zero_limit_queue_drops_everything(net):
+    net.attach("blackhole", queue_limit=0)
+    assert not net.send(Packet("a", "blackhole", TYPE_DATA, ()))
+    assert net.pending("blackhole") == 0
+
+
+def test_overflow_is_per_host_not_global(net):
+    net.attach("tiny", queue_limit=1)
+    net.send(Packet("a", "tiny", TYPE_DATA, (1,)))
+    assert not net.send(Packet("a", "tiny", TYPE_DATA, (2,)))
+    assert net.send(Packet("a", "b", TYPE_DATA, (3,)))   # other hosts unaffected
+    assert net.pending("b") == 1

@@ -1,0 +1,83 @@
+"""Documentation consistency: every intra-repo Markdown link resolves,
+and the link checker itself catches what it claims to catch."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_md_links", REPO_ROOT / "tools" / "check_md_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = load_checker()
+
+
+def test_repository_markdown_links_resolve():
+    problems = checker.check_tree(REPO_ROOT)
+    assert problems == [], "\n".join(problems)
+
+
+def test_docs_index_files_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "OBSERVABILITY.md", "ARCHITECTURE.md", "SERVER.md"):
+        assert (REPO_ROOT / name).is_file(), f"{name} missing"
+
+
+# -- the checker's own behavior ----------------------------------------------
+
+
+def test_broken_file_link_is_reported(tmp_path):
+    (tmp_path / "a.md").write_text("see [other](missing.md)\n")
+    problems = checker.check_tree(tmp_path)
+    assert len(problems) == 1 and "missing.md" in problems[0]
+
+
+def test_valid_relative_link_passes(tmp_path):
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "b.md").write_text("# Target Heading\n")
+    (tmp_path / "a.md").write_text("see [b](sub/b.md#target-heading)\n")
+    assert checker.check_tree(tmp_path) == []
+
+
+def test_missing_anchor_is_reported(tmp_path):
+    (tmp_path / "b.md").write_text("# Only Heading\n")
+    (tmp_path / "a.md").write_text("see [b](b.md#no-such-anchor)\n")
+    problems = checker.check_tree(tmp_path)
+    assert len(problems) == 1 and "no-such-anchor" in problems[0]
+
+
+def test_same_file_anchor(tmp_path):
+    (tmp_path / "a.md").write_text("# Intro\n\njump [down](#details)\n\n## Details\n")
+    assert checker.check_tree(tmp_path) == []
+
+
+def test_external_links_are_skipped(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "[web](https://example.com/x) [mail](mailto:a@b.c)\n")
+    assert checker.check_tree(tmp_path) == []
+
+
+def test_links_inside_code_fences_are_ignored(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "```\n[example](not-a-real-file.md)\n```\n")
+    assert checker.check_tree(tmp_path) == []
+
+
+def test_duplicate_headings_get_numbered_anchors(tmp_path):
+    (tmp_path / "b.md").write_text("# Setup\n\n# Setup\n")
+    (tmp_path / "a.md").write_text("[first](b.md#setup) [second](b.md#setup-1)\n")
+    assert checker.check_tree(tmp_path) == []
+
+
+def test_heading_slugs_strip_punctuation_and_code(tmp_path):
+    (tmp_path / "b.md").write_text("## The `repro.server` package: an overview!\n")
+    (tmp_path / "a.md").write_text(
+        "[overview](b.md#the-reproserver-package-an-overview)\n")
+    assert checker.check_tree(tmp_path) == []

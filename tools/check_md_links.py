@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Check intra-repository Markdown links and anchors.  Stdlib only.
+
+Scans every ``*.md`` file under the repository root for inline links
+(``[text](target)``), resolves relative targets against the linking file,
+and fails when a target file -- or a ``#heading-anchor`` within one -- does
+not exist.  External schemes (http, https, mailto) are skipped: this is a
+repository-consistency check, not a crawler.
+
+Anchors are matched against GitHub-style heading slugs: lowercase, spaces
+to hyphens, punctuation dropped.  Fenced code blocks are ignored on both
+sides (links inside them are examples; headings inside them are not
+headings).
+
+Usage::
+
+    python tools/check_md_links.py [ROOT]
+
+Exits 0 when every link resolves, 1 otherwise (one line per broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+IMAGE_LINK = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*#*\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def visible_lines(text: str) -> Iterator[str]:
+    """The file's lines with fenced code blocks replaced by blanks."""
+    fenced = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            fenced = not fenced
+            yield ""
+            continue
+        yield "" if fenced else line
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor rule (close enough for ASCII docs)."""
+    title = re.sub(r"`([^`]*)`", r"\1", title)            # strip code spans
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # links: keep text
+    title = title.strip().lower()
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> Set[str]:
+    """Every anchor a heading in *path* generates (repeats get -1, -2...)."""
+    counts: dict = {}
+    anchors: Set[str] = set()
+    for line in visible_lines(path.read_text(encoding="utf-8")):
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group("title"))
+        repeat = counts.get(slug, 0)
+        counts[slug] = repeat + 1
+        anchors.add(slug if repeat == 0 else f"{slug}-{repeat}")
+    return anchors
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    for number, line in enumerate(visible_lines(path.read_text(encoding="utf-8")), 1):
+        for pattern in (INLINE_LINK, IMAGE_LINK):
+            for match in pattern.finditer(line):
+                yield number, match.group("target")
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    problems: List[str] = []
+    for line_number, target in iter_links(path):
+        if EXTERNAL.match(target):
+            continue
+        target, _, anchor = target.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}:{line_number}: "
+                                f"broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix.lower() == ".md":
+            if anchor.lower() not in anchors_of(resolved):
+                problems.append(f"{path.relative_to(root)}:{line_number}: "
+                                f"missing anchor -> {target or path.name}#{anchor}")
+    return problems
+
+
+def check_tree(root: Path) -> List[str]:
+    """Every problem in every ``*.md`` under *root* (skipping junk dirs)."""
+    skip = {".git", "node_modules", ".venv", "__pycache__", ".pytest_cache"}
+    problems: List[str] = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in skip for part in path.parts):
+            continue
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
+    problems = check_tree(root)
+    for problem in problems:
+        print(problem)
+    checked = sum(1 for p in root.rglob("*.md")
+                  if not any(part in {".git", "node_modules"} for part in p.parts))
+    if problems:
+        print(f"\n{len(problems)} broken link(s) across {checked} Markdown files")
+        return 1
+    print(f"all links resolve across {checked} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
