@@ -1,0 +1,95 @@
+"""E13 -- Sharded file service: throughput scaling with shard count.
+
+The structural claim behind the shard router: N single-pack file servers
+behind one hash-routing front door serve the same client population
+near-linearly faster than one server, because each shard machine owns
+its own pack, cache, and elevator -- per poll cycle the cluster's
+elapsed time is the *slowest* shard, not the sum of shards.  The pinned
+bar is 4 shards >= 3.0x the single-shard request rate on the identical
+workload, with zero errors and zero client-visible busy at either scale.
+
+Rows sweep 1, 2, 4 (smoke) and 8 (full) shards over the same 16-client
+load.  Baselines are exact: the whole run is simulated time derived from
+one seed, and a 1-shard cluster is observationally equivalent to the
+PR-5 single server (``tests/server/test_router.py`` proves it).
+"""
+
+from repro.server.loadgen import LoadGenerator, build_cluster
+
+from paper import report
+
+SEED = 1979
+CLIENTS = 16
+FILE_BYTES = 2048
+READ_ROUNDS = 2
+
+#: Shard counts per profile; 8 shards is the full profile's headroom row.
+SMOKE_SHARDS = (1, 2, 4)
+FULL_SHARDS = (1, 2, 4, 8)
+
+
+def serve_cluster_load(shards: int):
+    """The standard 16-client load against a *shards*-shard cluster."""
+    system = build_cluster(CLIENTS, shards=shards, seed=SEED)
+    generator = LoadGenerator(system, seed=SEED, file_bytes=FILE_BYTES,
+                              read_rounds=READ_ROUNDS)
+    return generator.run()
+
+
+def _row(result, shards: int):
+    return report(
+        "E13",
+        "(sec 5.2) sharding the file service scales its throughput",
+        f"{shards} shard(s), {result.clients} clients: "
+        f"{result.requests_per_sec:.2f} req/s, "
+        f"p50 {result.p50_ms:.2f}ms, p99 {result.p99_ms:.2f}ms",
+        name=f"E13.cluster_{shards}s",
+        simulated_seconds=result.elapsed_s,
+        cached=True,
+        requests_per_sec=result.requests_per_sec,
+        p50_ms=result.p50_ms,
+        p99_ms=result.p99_ms,
+        requests=result.requests,
+        retries=result.retries,
+        rejected=result.rejected,
+        errors=result.errors,
+    )
+
+
+def test_four_shards_triple_single_shard_throughput():
+    """The pinned scaling bar: 4 shards >= 3.0x one shard's req/s on the
+    identical workload, with no errors and no admission rejects."""
+    single = serve_cluster_load(1)
+    quad = serve_cluster_load(4)
+    assert single.errors == quad.errors == 0
+    assert single.rejected == quad.rejected == 0
+    assert single.requests == quad.requests
+    speedup = quad.requests_per_sec / single.requests_per_sec
+    assert speedup >= 3.0, f"4-shard speedup only {speedup:.2f}x"
+
+
+def test_cluster_load_is_deterministic():
+    first = serve_cluster_load(2)
+    second = serve_cluster_load(2)
+    assert first.to_json() == second.to_json()
+    assert first.latencies_ms == second.latencies_ms
+
+
+def bench(profile: str = "full"):
+    """Structured entries for ``python -m repro bench``."""
+    shard_counts = SMOKE_SHARDS if profile == "smoke" else FULL_SHARDS
+    results = []
+    by_shards = {}
+    for shards in shard_counts:
+        result = serve_cluster_load(shards)
+        by_shards[shards] = result
+        results.append(_row(result, shards))
+    speedup = (by_shards[4].requests_per_sec
+               / by_shards[1].requests_per_sec)
+    assert speedup >= 3.0, (
+        f"4-shard cluster only {speedup:.2f}x the single shard "
+        f"({by_shards[4].requests_per_sec} vs "
+        f"{by_shards[1].requests_per_sec} req/s)")
+    for shards, result in by_shards.items():
+        assert result.errors == 0, f"{shards}-shard run saw errors"
+    return results

@@ -130,6 +130,10 @@ def crashtest(argv) -> int:
     parser.add_argument("--cached", action="store_true",
                         help="run the workload on the write-back CachedDrive, so "
                              "crashes also hit flush drains and buffered data is lost")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="sweep the shard-rebalancing pack-shipping protocol "
+                             "instead: crash at every write across BOTH packs and "
+                             "verify the moving names survive on exactly one shard")
     parser.add_argument("--points", metavar="N[,N...]",
                         help="sweep only these crash points (default: all)")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -162,15 +166,27 @@ def crashtest(argv) -> int:
 
         obs_runtime.enable_trace_all()
     try:
-        result = crash_point_sweep(
-            canonical_build(args.seed, cylinders=args.cylinders),
-            canonical_workload(args.seed),
-            seed=args.seed,
-            points=points,
-            tear=args.tear,
-            on_point=narrate if args.verbose else None,
-            make_drive=make_drive,
-        )
+        if args.rebalance:
+            from .server.rebalance import rebalance_crash_sweep
+
+            result = rebalance_crash_sweep(
+                seed=args.seed,
+                cylinders=args.cylinders,
+                tear=args.tear,
+                points=points,
+                on_point=narrate if args.verbose else None,
+                cached=args.cached,
+            )
+        else:
+            result = crash_point_sweep(
+                canonical_build(args.seed, cylinders=args.cylinders),
+                canonical_workload(args.seed),
+                seed=args.seed,
+                points=points,
+                tear=args.tear,
+                on_point=narrate if args.verbose else None,
+                make_drive=make_drive,
+            )
     except ValueError as exc:  # e.g. a crash point outside 1..total
         parser.error(str(exc))
     if args.trace:
@@ -189,6 +205,7 @@ def crashtest(argv) -> int:
     if result.failures:
         print(f"replay one point with: python -m repro crashtest --seed {args.seed}"
               f"{' --tear' if args.tear else ''}{' --cached' if args.cached else ''}"
+              f"{' --rebalance' if args.rebalance else ''}"
               f" --points <N> -v")
     return 0 if result.ok else 1
 
@@ -197,7 +214,7 @@ def serve_cmd(argv) -> int:
     """The ``serve`` subcommand: run the file-server load demo."""
     import json as _json
 
-    from .server.loadgen import LoadGenerator, build_system
+    from .server.loadgen import LoadGenerator, build_cluster, build_system
 
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
@@ -205,6 +222,10 @@ def serve_cmd(argv) -> int:
     )
     parser.add_argument("--clients", type=int, default=8,
                         help="simulated workstations (default 8)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="serve from an N-shard cluster behind the hash "
+                             "router instead of one server (each shard is its "
+                             "own pack on its own simulated machine)")
     parser.add_argument("--seed", type=int, default=1979,
                         help="seed for every client's workload data")
     parser.add_argument("--file-bytes", type=int, default=2048,
@@ -224,10 +245,17 @@ def serve_cmd(argv) -> int:
     args = parser.parse_args(argv)
 
     def run(mode: str):
-        system = build_system(args.clients, seed=args.seed,
-                              cached=not args.uncached)
+        if args.shards is not None:
+            system = build_cluster(args.clients, shards=args.shards,
+                                   seed=args.seed, cached=not args.uncached)
+        else:
+            system = build_system(args.clients, seed=args.seed,
+                                  cached=not args.uncached)
         if args.trace:
             system.clock.obs.enable_tracing()
+            if args.shards is not None:
+                for shard in system.shards:
+                    shard.clock.obs.enable_tracing()
         generator = LoadGenerator(system, seed=args.seed,
                                   file_bytes=args.file_bytes,
                                   read_rounds=args.read_rounds)
@@ -253,13 +281,29 @@ def serve_cmd(argv) -> int:
                   f"p50 {r.p50_ms:.2f}ms   p99 {r.p99_ms:.2f}ms")
             print(f"  retries {r.retries}  busy-retries {r.busy_retries}  "
                   f"rejected {r.rejected}  flushes {r.flushes}")
+        if args.shards is not None and trace_system is not None:
+            shares = [int(s.stats().get("server.requests", 0))
+                      for s in trace_system.shards]
+            print(f"shard request shares: {shares} "
+                  f"(map epoch {trace_system.router.shard_map.epoch})")
         if len(results) == 2 and results[0].elapsed_s > 0:
             speedup = results[1].elapsed_s / results[0].elapsed_s
             print(f"concurrent multiplexing speedup: x{speedup:.2f} "
                   f"(one batched flush per poll, "
                   f"{results[1].flushes} -> {results[0].flushes} flushes)")
     if args.trace and trace_system is not None:
-        _write_repl_trace(args.trace, trace_system.fs.drive)
+        if args.shards is not None:
+            from .obs import write_trace
+
+            tracers = [("router", trace_system.clock.obs.tracer)]
+            tracers += [(shard.host, shard.clock.obs.tracer)
+                        for shard in trace_system.shards]
+            trace = write_trace(args.trace, tracers,
+                                stats=trace_system.stats())
+            spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+            print(f"[trace written to {args.trace}: {spans} spans]")
+        else:
+            _write_repl_trace(args.trace, trace_system.fs.drive)
     return 0
 
 

@@ -88,13 +88,23 @@ class PacketNetwork:
         self.clock = clock if clock is not None else SimClock()
         self._queues: Dict[str, Deque[Packet]] = {}
         self._limits: Dict[str, int] = {}
+        self._clocks: Dict[str, SimClock] = {}
         self.delivered = 0
         self.dropped = 0
 
     # -- membership -----------------------------------------------------------------
 
-    def attach(self, host: str, queue_limit: int = 1024) -> None:
+    def attach(self, host: str, queue_limit: int = 1024,
+               clock: Optional[SimClock] = None) -> None:
         """Join *host* to the network with a bounded receive queue.
+
+        A host may bind its own *clock* -- the model of a machine with its
+        own link to the switch.  Wire time for a packet is then charged on
+        the destination's bound clock (its inbound link), else the
+        source's (its outbound link), else the network clock -- so
+        transfers between differently-bound hosts proceed in parallel
+        simulated time, and everything else keeps the single shared-wire
+        behaviour.
 
         >>> net = PacketNetwork()
         >>> net.attach("alto")
@@ -107,6 +117,19 @@ class PacketNetwork:
             raise NetworkError(f"host {host!r} already attached")
         self._queues[host] = deque()
         self._limits[host] = queue_limit
+        if clock is not None:
+            self._clocks[host] = clock
+
+    def host_clock(self, host: str) -> Optional[SimClock]:
+        """The clock bound at :meth:`attach` time, or None.
+
+        >>> from repro.clock import SimClock
+        >>> net = PacketNetwork()
+        >>> net.attach("a", clock=net.clock)
+        >>> net.host_clock("a") is net.clock
+        True
+        """
+        return self._clocks.get(host)
 
     def hosts(self) -> List[str]:
         """The attached host names, sorted.
@@ -120,11 +143,14 @@ class PacketNetwork:
 
     # -- sending and receiving ---------------------------------------------------------
 
-    def send(self, packet: Packet) -> bool:
+    def send(self, packet: Packet, clock: Optional[SimClock] = None) -> bool:
         """Deliver a packet; returns False (and counts a drop) when the
         destination queue is full -- datagram semantics, no backpressure.
 
-        Wire time is charged whether or not the packet is delivered:
+        Wire time lands on the first of: the explicit *clock* argument, the
+        destination host's bound clock, the source host's bound clock, the
+        network clock.  It is charged whether or not the packet is
+        delivered:
 
         >>> net = PacketNetwork()
         >>> net.attach("a"); net.attach("b")
@@ -135,7 +161,13 @@ class PacketNetwork:
         queue = self._queues.get(packet.destination)
         if queue is None:
             raise NetworkError(f"unknown destination {packet.destination!r}")
-        self.clock.advance_us(
+        if clock is None:
+            clock = self._clocks.get(packet.destination)
+        if clock is None:
+            clock = self._clocks.get(packet.source)
+        if clock is None:
+            clock = self.clock
+        clock.advance_us(
             (len(packet.payload) + 4) * self.WIRE_US_PER_WORD, "net.wire"
         )
         if len(queue) >= self._limits[packet.destination]:

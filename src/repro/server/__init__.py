@@ -28,7 +28,14 @@ b'served!'
 
 from .client import FileClient, PendingRequest
 from .engine import DEFAULT_MAX_PENDING, FileServer
-from .loadgen import LoadGenerator, LoadResult, ServedSystem, build_system
+from .loadgen import (
+    ClusterSystem,
+    LoadGenerator,
+    LoadResult,
+    ServedSystem,
+    build_cluster,
+    build_system,
+)
 from .protocol import (
     FLAG_CREATE,
     FrameAssembler,
@@ -51,9 +58,13 @@ from .protocol import (
     encode_request,
     encode_response,
 )
+from .rebalance import Shipment, recover_shipment, ship_names
+from .router import ShardRouter, merge_names
 from .session import OpenHandle, Session
+from .shardmap import RebalancePlan, ShardMap, hash_name
 
 __all__ = [
+    "ClusterSystem",
     "DEFAULT_MAX_PENDING",
     "FLAG_CREATE",
     "FileClient",
@@ -69,6 +80,7 @@ __all__ = [
     "OP_WRITE",
     "OpenHandle",
     "PendingRequest",
+    "RebalancePlan",
     "Request",
     "Response",
     "ST_BAD_HANDLE",
@@ -81,7 +93,15 @@ __all__ = [
     "ST_TOO_LARGE",
     "ServedSystem",
     "Session",
+    "ShardMap",
+    "ShardRouter",
+    "Shipment",
+    "build_cluster",
     "build_system",
     "encode_request",
     "encode_response",
+    "hash_name",
+    "merge_names",
+    "recover_shipment",
+    "ship_names",
 ]

@@ -353,6 +353,11 @@ class FileServer:
 
     # ------------------------------------------------------------------------
 
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unserviced requests (the router's window input)."""
+        return self._pending
+
     def stats(self) -> Dict[str, int]:
         """The server's own counters out of the unified snapshot."""
         return {name: value for name, value in self.obs.stats().items()

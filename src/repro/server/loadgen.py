@@ -52,6 +52,10 @@ class ServedSystem:
     def clock(self):
         return self.fs.drive.clock
 
+    def stats(self) -> Dict:
+        """The unified flat stats snapshot (one machine, one clock)."""
+        return self.clock.obs.stats()
+
 
 def build_system(
     clients: int,
@@ -87,6 +91,94 @@ def build_system(
         stations.append(FileClient(network, host))
     del seed  # reserved for future topology randomization; kept for API stability
     return ServedSystem(fs, network, server, stations)
+
+
+@dataclass
+class ClusterSystem:
+    """One simulated machine room with N shard machines behind a router.
+
+    Quacks like :class:`ServedSystem` where the load generator cares
+    (``server`` polls, ``clock`` is elapsed time, ``clients`` drive), so
+    the same :class:`LoadGenerator` runs against both.
+    """
+
+    shards: List[FileServer]
+    network: PacketNetwork
+    router: "ShardRouter"
+    clients: List[FileClient]
+
+    @property
+    def server(self):
+        """The router fronts the cluster: it is what the driver polls."""
+        return self.router
+
+    @property
+    def clock(self):
+        """Cluster elapsed time: the router (network) clock."""
+        return self.network.clock
+
+    def stats(self) -> Dict:
+        """Counters merged across the router and every shard machine.
+
+        Per-machine clocks mean per-machine registries; the merge sums
+        counters (``server.requests`` becomes the cluster total) and
+        takes the max of clock positions and high-water gauges.
+        """
+        from ..obs import merge_stats
+
+        snapshots = [self.clock.obs.stats(), self.router.front_clock.obs.stats()]
+        snapshots.extend(shard.clock.obs.stats() for shard in self.shards)
+        return merge_stats(snapshots)
+
+
+def build_cluster(
+    clients: int,
+    shards: int = 2,
+    seed: int = 1979,
+    cached: bool = True,
+    cache_sectors: int = 512,
+    big_disk: bool = False,
+    max_pending: int = 128,
+    per_shard_window: int = 32,
+    tiny: bool = False,
+) -> ClusterSystem:
+    """Format *shards* packs, each behind its own :class:`FileServer` on
+    its own simulated machine (own clock), fronted by a
+    :class:`~repro.server.router.ShardRouter` on the ``"fileserver"``
+    host -- clients are built exactly as :func:`build_system` builds them
+    and cannot tell the difference.
+
+    >>> from repro.server.loadgen import build_cluster
+    >>> system = build_cluster(clients=2, shards=2, tiny=True)
+    >>> len(system.shards), system.server is system.router
+    (2, True)
+    """
+    from .router import ShardRouter
+
+    network = PacketNetwork()
+    servers = []
+    for index in range(shards):
+        if tiny:
+            shape = tiny_test_disk(cylinders=40)
+        else:
+            shape = diablo31()
+        image = DiskImage(shape)
+        drive = (CachedDrive(image, cache_sectors=cache_sectors)
+                 if cached else DiskDrive(image))
+        fs = FileSystem.format(drive)
+        host = f"shard{index:02d}"
+        network.attach(host, queue_limit=4096, clock=drive.clock)
+        servers.append(FileServer(fs, network, host=host,
+                                  max_pending=max_pending))
+    router = ShardRouter(servers, network, seed=seed,
+                         max_pending=max_pending,
+                         per_shard_window=per_shard_window)
+    stations = []
+    for index in range(clients):
+        host = f"ws{index:03d}"
+        network.attach(host)
+        stations.append(FileClient(network, host))
+    return ClusterSystem(servers, network, router, stations)
 
 
 @dataclass
@@ -189,7 +281,7 @@ class LoadGenerator:
     def _result(self, mode: str, requests: int, errors: int,
                 latencies_us: List[int], elapsed_us: int,
                 bytes_written: int) -> LoadResult:
-        stats = self.system.clock.obs.stats()
+        stats = self.system.stats()
         latencies_ms = sorted(us / 1000.0 for us in latencies_us)
         elapsed_s = elapsed_us / 1_000_000.0
         return LoadResult(

@@ -95,6 +95,10 @@ class Session:
     def dirty_handles(self) -> List[OpenHandle]:
         return [h for h in self.handles.values() if h.wrote]
 
+    def open_names(self) -> List[str]:
+        """The file names this session currently holds open."""
+        return [h.name for h in self.handles.values()]
+
     def __repr__(self) -> str:
         return (f"Session({self.client!r}, handles={len(self.handles)}, "
                 f"served={self.requests_served})")

@@ -1,0 +1,117 @@
+"""Property suite for the shard map: the routing invariants, under fuzz.
+
+Three invariants carry the whole cluster design, so they get hypothesis
+rather than examples:
+
+* **exactly one shard** -- for any seed and any name set, every name
+  routes to exactly one in-range shard, repeatably;
+* **restart stability** -- a map rebuilt from the same parameters (what a
+  router restart does) routes every name identically;
+* **rebalance is a permutation** -- applying a plan moves exactly the
+  chosen slot's names and neither loses nor duplicates any name.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.server.shardmap import DEFAULT_SLOTS, ShardMap, hash_name
+
+#: Arbitrary non-empty unicode names -- routing never parses them.
+names_sets = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=40, unique=True
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+shard_counts = st.integers(min_value=1, max_value=8)
+
+
+@given(names=names_sets, seed=seeds, shards=shard_counts)
+def test_every_name_routes_to_exactly_one_shard(names, seed, shards):
+    shard_map = ShardMap(shards, seed=seed)
+    placement = shard_map.placement(names)
+    assert sorted(placement) == sorted(names)
+    for name, shard in placement.items():
+        assert 0 <= shard < shards
+        assert shard_map.shard_of(name) == shard           # repeatable
+        assert shard_map.slot_of(name) == shard_map.slot_of(name)
+    assert sum(shard_map.counts(names)) == len(names)
+
+
+@given(names=names_sets, seed=seeds, shards=shard_counts)
+def test_routing_is_stable_across_router_restarts(names, seed, shards):
+    before = ShardMap(shards, seed=seed)
+    restarted = ShardMap(shards, seed=seed)
+    for name in names:
+        assert before.slot_of(name) == restarted.slot_of(name)
+        assert before.shard_of(name) == restarted.shard_of(name)
+
+
+@given(name=st.text(min_size=1, max_size=24), seed=seeds)
+def test_hashing_is_case_insensitive_like_the_directory(name, seed):
+    # The directory treats names with equal lowercase foldings as the
+    # same file, so the hash must too.  (Unicode upper() is not always a
+    # round trip -- 'µ'.upper() case-folds differently -- so the upper
+    # spelling is only checked when it folds back to the same name.)
+    assert hash_name(name, seed) == hash_name(name.lower(), seed)
+    if name.upper().lower() == name.lower():
+        assert hash_name(name, seed) == hash_name(name.upper(), seed)
+
+
+@given(
+    names=names_sets,
+    seed=seeds,
+    shards=st.integers(min_value=2, max_value=8),
+    slot_pick=st.integers(min_value=0, max_value=DEFAULT_SLOTS - 1),
+    target_pick=st.integers(min_value=1, max_value=7),
+)
+def test_rebalance_plan_is_a_permutation(names, seed, shards, slot_pick,
+                                         target_pick):
+    shard_map = ShardMap(shards, seed=seed)
+    source = shard_map.slot_shard(slot_pick)
+    target = (source + 1 + target_pick % (shards - 1)) % shards
+    assert target != source
+
+    before = shard_map.placement(names)
+    epoch = shard_map.epoch
+    plan = shard_map.plan_move(slot_pick, target)
+    shard_map.apply(plan)
+    after = shard_map.placement(names)
+
+    # No name lost, none duplicated: same key set, each exactly once.
+    assert sorted(after) == sorted(before) == sorted(names)
+    assert shard_map.epoch == epoch + 1
+    for name in names:
+        if shard_map.slot_of(name) == slot_pick:
+            assert after[name] == target
+        else:
+            assert after[name] == before[name]
+    assert sum(shard_map.counts(names)) == len(names)
+
+
+@given(seed=seeds, shards=shard_counts)
+def test_every_slot_is_assigned_an_in_range_shard(seed, shards):
+    shard_map = ShardMap(shards, seed=seed)
+    assert len(shard_map.assignment) == DEFAULT_SLOTS
+    for slot in range(DEFAULT_SLOTS):
+        assert 0 <= shard_map.slot_shard(slot) < shards
+    covered = sorted(set(shard_map.assignment))
+    assert covered == list(range(shards))          # round-robin covers all
+
+
+def test_stale_plans_are_rejected():
+    shard_map = ShardMap(shards=2)
+    slot = shard_map.shard_slots(0)[0]
+    plan = shard_map.plan_move(slot, 1)
+    shard_map.apply(plan)
+    with pytest.raises(ValueError):
+        shard_map.apply(plan)                      # slot no longer on source
+    with pytest.raises(ValueError):
+        shard_map.plan_move(slot, 1)               # no-op move
+    with pytest.raises(ValueError):
+        shard_map.plan_move(DEFAULT_SLOTS, 0)
+    with pytest.raises(ValueError):
+        ShardMap(shards=0)
+    with pytest.raises(ValueError):
+        ShardMap(shards=9, slots=8)
