@@ -16,6 +16,7 @@ import pytest
 from repro.disk import DiskDrive, DiskImage, FaultInjector, tiny_test_disk
 from repro.errors import TornWriteError
 from repro.fs import FileSystem, Scavenger
+from repro.words import random_bytes
 
 from paper import report
 
@@ -30,7 +31,7 @@ def build_trial(seed):
     payloads, serial_to_name = {}, {}
     for i in range(10):
         name = f"f{i:02}.dat"
-        data = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 2500)))
+        data = random_bytes(rng, rng.randrange(1, 2500))
         file = fs.create_file(name)
         file.write_data(data)
         payloads[name] = data

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.disk import DiskDrive, DiskImage, DiskShape, FaultInjector, diablo31
 from repro.fs import FileSystem, Scavenger
+from repro.words import random_bytes
 
 
 @dataclass
@@ -105,7 +106,7 @@ def populated_disk(
     for i in range(files):
         name = f"file{i:04}.dat"
         size = max(0, int(rng.gauss(mean_bytes, mean_bytes / 2)))
-        data = bytes(rng.randrange(256) for _ in range(min(size, 20_000)))
+        data = random_bytes(rng, min(size, 20_000))
         fs.create_file(name).write_data(data)
         payloads[name] = data
     victims = rng.sample(sorted(payloads), min(deletions, len(payloads)))

@@ -26,6 +26,7 @@ import argparse
 import importlib.util
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -65,9 +66,24 @@ def load_bench_modules(bench_dir: Path) -> List[object]:
 
 
 def run_benchmarks(profile: str, only: Optional[str] = None, bench_dir: Optional[Path] = None):
-    """Run all ``bench(profile)`` hooks; returns a list of BenchResult."""
+    """Run all ``bench(profile)`` hooks.
+
+    Returns ``(results, wall_clock_seconds)``: the :class:`BenchResult`
+    list plus a per-module wall-clock dict (with a ``"total"`` key).
+    Simulated seconds are the regression-tracked output; wall seconds are
+    informational -- they track how fast the *simulator itself* runs, which
+    the fast-path work (ARCHITECTURE.md, "Fast paths") optimizes without
+    being allowed to move the simulated numbers.
+    """
     bench_dir = bench_dir or find_benchmarks_dir()
+    # Resolve the optional numpy fast path up front: its (one-time, lazy)
+    # import otherwise lands inside whichever module happens to hit a bulk
+    # operation first, skewing that row's wall clock.
+    from . import fastpath
+
+    fastpath.numpy()
     results = []
+    wall: Dict[str, float] = {}
     for module in load_bench_modules(bench_dir):
         hook = getattr(module, "bench", None)
         if hook is None:
@@ -76,8 +92,11 @@ def run_benchmarks(profile: str, only: Optional[str] = None, bench_dir: Optional
         if only and only not in name:
             continue
         print(f"== {name} (profile={profile}) ==")
+        started = time.perf_counter()
         results.extend(hook(profile))
-    return results
+        wall[name] = round(time.perf_counter() - started, 3)
+    wall["total"] = round(sum(wall.values()), 3)
+    return results, wall
 
 
 def compare_to_baselines(
@@ -136,7 +155,7 @@ def main(argv=None) -> int:
     if args.trace:
         obs_runtime.enable_trace_all()
     try:
-        results = run_benchmarks(args.profile, only=args.only, bench_dir=bench_dir)
+        results, wall_clock = run_benchmarks(args.profile, only=args.only, bench_dir=bench_dir)
         if args.trace:
             trace = obs_runtime.collect_trace()
             Path(args.trace).write_text(
@@ -174,11 +193,13 @@ def main(argv=None) -> int:
         "results": [r.to_json() for r in results],
         "baseline_comparison": comparison,
         "regressions": regressions,
+        "wall_clock_seconds": wall_clock,
         "ok": not regressions,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
 
-    print(f"\n{len(results)} results -> {args.output}")
+    print(f"\n{len(results)} results -> {args.output} "
+          f"(wall clock {wall_clock['total']:.1f}s)")
     for result in results:
         entry = comparison[result.name]
         flag = "" if entry["ok"] else "  << REGRESSION"

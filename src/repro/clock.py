@@ -67,9 +67,13 @@ class SimClock:
         if amount_us < 0:
             raise ValueError(f"cannot advance clock by negative time: {amount_us}")
         self._now_us += amount_us
-        self._tallies[category] = self._tallies.get(category, 0) + amount_us
-        for watcher in self._watchers:
-            watcher(self._now_us)
+        try:
+            self._tallies[category] += amount_us
+        except KeyError:
+            self._tallies[category] = amount_us
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(self._now_us)
 
     def advance_ms(self, amount_ms: float, category: str = "other") -> None:
         """Advance the clock by *amount_ms* milliseconds under *category*."""

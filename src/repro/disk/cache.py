@@ -49,7 +49,8 @@ from typing import Dict, List, Optional
 from ..clock import SimClock
 from ..obs import CounterAttr, MetricsRegistry
 from ..errors import CheckError, LabelCheckError, PowerFailure
-from .drive import MAX_READ_RETRIES, Action, DiskDrive, PartCommand, TransferResult
+from .drive import (MAX_READ_RETRIES, Action, DiskDrive, PartCommand,
+                    TransferResult, _NO_ACTION)
 from .image import DiskImage
 from .scheduler import RequestScheduler
 from .sector import VALUE_WORDS
@@ -162,9 +163,9 @@ class CachedDrive(DiskDrive):
         value: PartCommand = None,
     ) -> TransferResult:
         commands = {
-            "header": header if header is not None else PartCommand(),
-            "label": label if label is not None else PartCommand(),
-            "value": value if value is not None else PartCommand(),
+            "header": header if header is not None else _NO_ACTION,
+            "label": label if label is not None else _NO_ACTION,
+            "value": value if value is not None else _NO_ACTION,
         }
         self._validate_write_continuation(commands)
         self.shape.check_address(address)
@@ -473,11 +474,13 @@ class CachedDrive(DiskDrive):
             self.scheduler.discard(address)
 
     def _platter_words(self, address: int, part: str) -> List[int]:
+        """A fresh copy of a part's packed words straight from the platter
+        (the cache entry owns its lists, so it must not alias the sector's)."""
         sector = self.image.sector(address)
         if part == "header":
-            return sector.header.pack()
+            return list(sector.header_words())
         if part == "label":
-            return sector.label.pack()
+            return list(sector.label_words())
         return list(sector.value)
 
     # ------------------------------------------------------------------------

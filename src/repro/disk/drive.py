@@ -49,6 +49,44 @@ class Action(enum.Enum):
 PART_ORDER = ("header", "label", "value")
 _PART_SIZES = {"header": HEADER_WORDS, "label": LABEL_WORDS, "value": VALUE_WORDS}
 
+
+def merge_check(expected, disk_words):
+    """The check action's compare-and-merge, as a bulk operation.
+
+    Same contract as :func:`repro.reference.merge_check_reference` (the
+    word-at-a-time twin the equivalence suite pins this against): returns
+    ``(effective, None)`` on success, ``(None, (index, want, have))`` at
+    the first non-wildcard mismatch.
+
+    The dominant case -- a label check against exactly what the platter
+    holds -- is one C-level list comparison.  Wildcards and mismatches
+    drop to the reference loop, whose cost only matters on the failure
+    path.
+    """
+    if type(expected) is not list:
+        expected = list(expected)
+    if expected == disk_words:
+        return list(disk_words), None
+    if 0 in expected:
+        # Wildcard merge in one comprehension; on success every non-zero
+        # word matched, so the merge equals the disk prefix.  A mismatch
+        # (rare: it is the failure path) reruns the reference loop to find
+        # the first offending index.
+        merged = [have if want == 0 else want
+                  for want, have in zip(expected, disk_words)]
+        if merged == (disk_words if len(merged) == len(disk_words)
+                      else list(disk_words[: len(merged)])):
+            return merged, None
+        from ..reference import merge_check_reference
+
+        return merge_check_reference(expected, disk_words)
+    for i, (want, have) in enumerate(zip(expected, disk_words)):
+        if want != have:
+            return None, (i, want, have)
+    # Only reachable when the buffers differ in length: mirror the
+    # reference's zip semantics (effective covers the common prefix).
+    return list(disk_words[: len(expected)]), None
+
 def _parts_summary(commands: dict) -> str:
     """Compact ``header:read,label:check`` form for span annotations."""
     return ",".join(
@@ -64,7 +102,7 @@ def _parts_summary(commands: dict) -> str:
 MAX_READ_RETRIES = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class PartCommand:
     """One part's action and (for CHECK/WRITE) its memory buffer."""
 
@@ -76,7 +114,27 @@ class PartCommand:
             raise ValueError(f"{self.action.value} requires a data buffer")
 
 
-@dataclass
+#: Shared default for parts a transfer does not touch (never mutated).
+_NO_ACTION = PartCommand()
+
+#: Static (part, action, data) shapes for the read-only convenience
+#: commands (READ carries no buffer, so these are fully constant).
+_READ_ALL_PARTS = (
+    ("header", Action.READ, None),
+    ("label", Action.READ, None),
+    ("value", Action.READ, None),
+)
+_READ_LABEL_PARTS = (("label", Action.READ, None),)
+_READ_LABEL_VALUE_PARTS = (
+    ("label", Action.READ, None),
+    ("value", Action.READ, None),
+)
+
+#: Shared READ command (a READ carries no buffer and is never mutated).
+_READ_CMD = PartCommand(Action.READ)
+
+
+@dataclass(slots=True)
 class TransferResult:
     """Buffers produced by a command: disk contents for each READ or CHECK
     part (a CHECK buffer has its 0-wildcards replaced by disk words)."""
@@ -145,6 +203,29 @@ class DiskDrive:
         self.max_read_retries = max_read_retries
         #: Optional observer (see :class:`repro.disk.trace.DiskTrace`).
         self.trace = None
+        # Direct references to the stats counters: the per-command hot path
+        # increments these a few times per sector and must not re-run the
+        # descriptor-protocol read-modify-write of ``stats.x += 1``.  Both
+        # routes mutate the same Counter objects (and their mirrors).
+        # True when this instance uses the base per-part implementations,
+        # letting _process_parts read sector storage without the method
+        # dispatch.  Any override (ReferenceDrive's word-at-a-time loops)
+        # turns the inlining off and everything routes through the methods.
+        cls = type(self)
+        self._plain_parts = (
+            cls._get_part is DiskDrive._get_part
+            and cls._check_part is DiskDrive._check_part
+            and cls._write_part is DiskDrive._write_part
+        )
+        registry = self.stats.registry
+        self._c_commands = registry.counter("disk.drive.commands")
+        self._c_label_checks = registry.counter("disk.drive.label_checks")
+        self._c_label_check_failures = registry.counter("disk.drive.label_check_failures")
+        self._c_label_writes = registry.counter("disk.drive.label_writes")
+        self._c_value_reads = registry.counter("disk.drive.value_reads")
+        self._c_value_writes = registry.counter("disk.drive.value_writes")
+        self._c_transient_read_errors = registry.counter("disk.drive.transient_read_errors")
+        self._c_read_retries = registry.counter("disk.drive.read_retries")
 
     @property
     def shape(self):
@@ -178,27 +259,43 @@ class DiskDrive:
         Past the budget, :class:`~repro.errors.ReadRetriesExhausted` surfaces
         to the caller with the last transient error chained.
         """
-        commands = {
-            "header": header if header is not None else PartCommand(),
-            "label": label if label is not None else PartCommand(),
-            "value": value if value is not None else PartCommand(),
-        }
-        self._validate_write_continuation(commands)
+        # Validate continuation and flatten to (part, action, data) triples
+        # in one pass; the dict of PartCommands is only materialized for the
+        # observed paths (trace, span, fault injector) that take it.
+        parts = []
+        writing = False
+        for part, command in (("header", header), ("label", label), ("value", value)):
+            action = Action.NONE if command is None else command.action
+            if writing and action is not Action.WRITE:
+                raise ValueError(
+                    f"write begun before {part} must continue: {part} may not be {action.value}"
+                )
+            if action is Action.WRITE:
+                writing = True
+            if action is not Action.NONE:
+                parts.append((part, action, command.data))
         self.shape.check_address(address)
 
         obs = self.clock.obs
-        if obs.tracing:
-            with obs.span("disk.transfer", "disk", address=address,
-                          cylinder=self.shape.decompose(address)[0],
-                          parts=_parts_summary(commands)):
-                return self._execute(address, commands)
-        return self._execute(address, commands)
+        if obs.tracing or self.trace is not None or self.fault_injector is not None:
+            commands = {
+                "header": header if header is not None else _NO_ACTION,
+                "label": label if label is not None else _NO_ACTION,
+                "value": value if value is not None else _NO_ACTION,
+            }
+            if obs.tracing:
+                with obs.span("disk.transfer", "disk", address=address,
+                              cylinder=self.shape.decompose(address)[0],
+                              parts=_parts_summary(commands)):
+                    return self._execute(address, parts, commands)
+            return self._execute(address, parts, commands)
+        return self._execute(address, parts, None)
 
-    def _execute(self, address: int, commands: dict) -> TransferResult:
+    def _execute(self, address: int, parts: list,
+                 commands: Optional[dict] = None) -> TransferResult:
         """The transfer body, after validation (span-wrapped when tracing)."""
-        self.stats.commands += 1
-        self.timer.position_for(address)
-        self.timer.transfer_sector()
+        self._c_commands.inc(1)
+        self.timer.position_and_transfer(address)
         if self.trace is not None:
             self.trace.record(self, address, commands)
 
@@ -210,43 +307,65 @@ class DiskDrive:
         attempt = 0
         while True:
             try:
-                return self._process_parts(address, commands)
+                return self._process_parts(address, parts)
             except TransientReadError as exc:
                 attempt += 1
-                self.stats.transient_read_errors += 1
+                self._c_transient_read_errors.inc(1)
                 if attempt > self.max_read_retries:
                     raise ReadRetriesExhausted(address, attempt) from exc
-                self.stats.read_retries += 1
+                self._c_read_retries.inc(1)
                 self._retry_backoff(attempt)
 
-    def _process_parts(self, address: int, commands: dict) -> TransferResult:
+    def _process_parts(self, address: int, parts: list) -> TransferResult:
         """One pass over the sector: parts in head order."""
-        hook = getattr(self.fault_injector, "before_part", None)
-        sector = self.image.sector(address)
+        injector = self.fault_injector
+        hook = getattr(injector, "before_part", None) if injector is not None else None
+        # transfer() validated the address before any time was charged;
+        # index the platter directly rather than re-validating per pass.
+        sector = self.image._sectors[address]
+        if sector is None:
+            sector = self.image._materialize(address)
+        checksum_bad = self.image.checksum_bad
+        plain = self._plain_parts
         result = TransferResult()
-        for part in PART_ORDER:
-            command = commands[part]
-            if command.action is Action.NONE:
-                continue
+        for part, action, data in parts:
             if hook is not None:
-                hook(self, address, part, command.action.value)
-            disk_words = self._get_part(sector, part)
-            if command.action in (Action.READ, Action.CHECK):
+                hook(self, address, part, action.value)
+            if plain:
+                # The base part implementations, inlined (same storage
+                # reads _get_part performs; overrides disable `plain`).
+                if part == "value":
+                    disk_words = sector.value
+                elif part == "label":
+                    disk_words = sector.label_words()
+                else:
+                    disk_words = sector.header_words()
+            else:
+                disk_words = self._get_part(sector, part)
+            if action is Action.WRITE:
+                self._write_part(sector, address, part, data)
+                if checksum_bad:
+                    checksum_bad.discard((address, part))
+                if part == "label":
+                    self._c_label_writes.inc(1)
+                elif part == "value":
+                    self._c_value_writes.inc(1)
+            else:
                 # A part a torn write left half-written fails its checksum on
                 # every read until something writes it afresh.
-                if (address, part) in self.image.checksum_bad:
+                if checksum_bad and (address, part) in checksum_bad:
                     raise SectorChecksumError(address, part)
-            if command.action is Action.READ:
-                setattr(result, part, list(disk_words))
-                self._count(part, reading=True)
-            elif command.action is Action.CHECK:
-                effective = self._check_part(address, part, command.data, disk_words)
-                setattr(result, part, effective)
-                self._count(part, reading=True)
-            elif command.action is Action.WRITE:
-                self._write_part(sector, address, part, command.data)
-                self.image.checksum_bad.discard((address, part))
-                self._count(part, reading=False)
+                if action is Action.READ:
+                    buffer = list(disk_words)
+                else:
+                    buffer = self._check_part(address, part, data, disk_words)
+                if part == "value":
+                    result.value = buffer
+                    self._c_value_reads.inc(1)
+                elif part == "label":
+                    result.label = buffer
+                else:
+                    result.header = buffer
         return result
 
     def _retry_backoff(self, attempt: int) -> None:
@@ -272,32 +391,35 @@ class DiskDrive:
                 writing = True
 
     def _get_part(self, sector: Sector, part: str) -> List[int]:
+        """The part's packed words, straight from the sector's storage.
+
+        The returned list is the sector's own (callers copy before
+        mutating; READ and CHECK results are built as fresh lists).
+        Reference twin: ``repro.reference.make_reference_drive``, which
+        re-packs through the object views on every access.
+        """
         if part == "header":
-            return sector.header.pack()
+            return sector.header_words()
         if part == "label":
-            return sector.label.pack()
+            return sector.label_words()
         return sector.value
 
     def _check_part(
         self, address: int, part: str, expected: Sequence[int], disk_words: Sequence[int]
     ) -> List[int]:
-        """Word-by-word pattern match; 0 in memory is a wildcard."""
+        """Pattern match via :func:`merge_check`; 0 in memory is a wildcard."""
         if len(expected) != _PART_SIZES[part]:
             raise ValueError(f"{part} check buffer must be {_PART_SIZES[part]} words")
-        effective = []
-        for i, (want, have) in enumerate(zip(expected, disk_words)):
-            if want == 0:
-                effective.append(have)
-                continue
-            if want != have:
-                if part == "label":
-                    self.stats.label_checks += 1
-                    self.stats.label_check_failures += 1
-                    raise LabelCheckError(i, want, have)
-                raise CheckError(part, i, want, have)
-            effective.append(have)
+        effective, mismatch = merge_check(expected, disk_words)
+        if mismatch is not None:
+            i, want, have = mismatch
+            if part == "label":
+                self._c_label_checks.inc(1)
+                self._c_label_check_failures.inc(1)
+                raise LabelCheckError(i, want, have)
+            raise CheckError(part, i, want, have)
         if part == "label":
-            self.stats.label_checks += 1
+            self._c_label_checks.inc(1)
         return effective
 
     def _write_part(self, sector: Sector, address: int, part: str, data: Sequence[int]) -> None:
@@ -305,45 +427,92 @@ class DiskDrive:
             raise ValueError(f"{part} write buffer must be {_PART_SIZES[part]} words")
         data = list(data)
         if self.fault_injector is not None:
-            data = self.fault_injector.filter_write(self, address, part, data)
+            # The injector may hand back a list it also keeps; re-copy so
+            # the sector never aliases anything outside the platter.
+            data = list(self.fault_injector.filter_write(self, address, part, data))
         if part == "header":
-            sector.header = Header.unpack(data)
+            sector.set_header_words(data)
         elif part == "label":
-            sector.label = Label.unpack(data)
+            sector.set_label_words(data)
         else:
-            sector.value = list(data)
-
-    def _count(self, part: str, reading: bool) -> None:
-        if part == "label" and not reading:
-            self.stats.label_writes += 1
-        elif part == "value":
-            if reading:
-                self.stats.value_reads += 1
-            else:
-                self.stats.value_writes += 1
+            sector.value = data
 
     # ------------------------------------------------------------------------
     # Convenience commands (each is exactly one hardware command)
     # ------------------------------------------------------------------------
+    #
+    # Each shapes a statically valid command (write-continuation holds by
+    # construction), so on a plain DiskDrive with nothing observing --
+    # no tracer, no fault injector, no active span collection -- the
+    # PartCommand packaging and transfer() re-validation add nothing:
+    # address check + _execute is the identical computation.  Subclasses
+    # (CachedDrive intercepts transfer; ReferenceDrive replays the slow
+    # loops) and observed drives always take the full route.
+
+    def _direct(self) -> bool:
+        return (type(self) is DiskDrive and self.fault_injector is None
+                and self.trace is None and not self.clock.obs.tracing)
 
     def read_sector(self, address: int) -> TransferResult:
         """Read header, label, and value in one pass."""
+        if self._direct():
+            self.shape.check_address(address)
+            return self._execute(address, _READ_ALL_PARTS)
         return self.transfer(
-            address,
-            header=PartCommand(Action.READ),
-            label=PartCommand(Action.READ),
-            value=PartCommand(Action.READ),
+            address, header=_READ_CMD, label=_READ_CMD, value=_READ_CMD
         )
 
     def read_label(self, address: int) -> Label:
         """Read just the label (the scavenger's sweep primitive)."""
-        return self.transfer(address, label=PartCommand(Action.READ)).label_object()
+        if self._direct():
+            self.shape.check_address(address)
+            return self._execute(address, _READ_LABEL_PARTS).label_object()
+        return self.transfer(address, label=_READ_CMD).label_object()
+
+    def read_label_value(self, address: int) -> TransferResult:
+        """Read the label and value in one pass (the sweep's per-sector
+        command: both ride the same revolution, section 3.5)."""
+        if self._direct():
+            self.shape.check_address(address)
+            return self._execute(address, _READ_LABEL_VALUE_PARTS)
+        return self.transfer(address, label=_READ_CMD, value=_READ_CMD)
+
+    def check_label(self, address: int, expected: Label) -> TransferResult:
+        """Check just the label; the result's label buffer has the pattern's
+        0-wildcards replaced by the disk words (the first pass of the
+        change-length sequence)."""
+        if self._direct():
+            self.shape.check_address(address)
+            return self._execute(address, (("label", Action.CHECK, expected.pack()),))
+        return self.transfer(address, label=PartCommand(Action.CHECK, expected.pack()))
+
+    def write_label_value(self, address: int, label: Label, value: Sequence[int]) -> None:
+        """Write the label and value with no preceding check (the second
+        pass of the change-length sequence; the first pass did the check)."""
+        if self._direct():
+            self.shape.check_address(address)
+            self._execute(address, (
+                ("label", Action.WRITE, label.pack()),
+                ("value", Action.WRITE, value),
+            ))
+            return
+        self.transfer(
+            address,
+            label=PartCommand(Action.WRITE, label.pack()),
+            value=PartCommand(Action.WRITE, list(value)),
+        )
 
     def check_label_read_value(self, address: int, expected: Label) -> TransferResult:
         """Ordinary page read: confirm identity, then take the data.
 
         One pass; raises :class:`LabelCheckError` when the hint is stale.
         """
+        if self._direct():
+            self.shape.check_address(address)
+            return self._execute(address, (
+                ("label", Action.CHECK, expected.pack()),
+                ("value", Action.READ, None),
+            ))
         return self.transfer(
             address,
             label=PartCommand(Action.CHECK, expected.pack()),
@@ -356,6 +525,12 @@ class DiskDrive:
         """Ordinary page write: "On any other write the label is checked, at
         no cost in time" (section 3.3).  One pass; aborts before writing when
         the check fails."""
+        if self._direct():
+            self.shape.check_address(address)
+            return self._execute(address, (
+                ("label", Action.CHECK, expected.pack()),
+                ("value", Action.WRITE, value),
+            ))
         return self.transfer(
             address,
             label=PartCommand(Action.CHECK, expected.pack()),
@@ -378,14 +553,23 @@ class DiskDrive:
         scheme costs a disk revolution each time a page is allocated or
         freed").
         """
+        if self._direct():
+            self.shape.check_address(address)
+            self._execute(address, (("label", Action.CHECK, expected.pack()),))
+            self._execute(address, (
+                ("label", Action.WRITE, new_label.pack()),
+                # Once a write begins it must continue through the sector,
+                # so a label rewrite alone still rewrites the value with its
+                # current contents (the hardware streams it back out).
+                ("value", Action.WRITE,
+                 value if value is not None else self.current_value(address)),
+            ))
+            return
         self.transfer(address, label=PartCommand(Action.CHECK, expected.pack()))
         parts = {"label": PartCommand(Action.WRITE, new_label.pack())}
         if value is not None:
             parts["value"] = PartCommand(Action.WRITE, list(value))
         else:
-            # Once a write begins it must continue through the sector, so a
-            # label rewrite alone still rewrites the value with its current
-            # contents (the hardware streams it back out).
             parts["value"] = PartCommand(Action.WRITE, self.current_value(address))
         self.transfer(address, **parts)
 
@@ -402,6 +586,14 @@ class DiskDrive:
     ) -> None:
         """Full sector format (used only by pack formatting and the
         compacting scavenger, which owns the whole disk)."""
+        if self._direct():
+            self.shape.check_address(address)
+            self._execute(address, (
+                ("header", Action.WRITE, header.pack()),
+                ("label", Action.WRITE, label.pack()),
+                ("value", Action.WRITE, value),
+            ))
+            return
         self.transfer(
             address,
             header=PartCommand(Action.WRITE, header.pack()),

@@ -45,6 +45,11 @@ class DiskShape:
     def __post_init__(self) -> None:
         if self.cylinders <= 0 or self.heads <= 0 or self.sectors_per_track <= 0:
             raise ValueError(f"degenerate disk shape: {self}")
+        # Cached derived sizes: address validation and decomposition run on
+        # every disk command, so they must not recompute products.  (Extra
+        # attributes on a frozen dataclass; field-based eq/repr unaffected.)
+        object.__setattr__(self, "_per_cylinder", self.heads * self.sectors_per_track)
+        object.__setattr__(self, "_total", self.cylinders * self.heads * self.sectors_per_track)
         if self.total_sectors() - 1 > WORD_MASK - 1:
             # Addresses must fit in one word, and NIL is reserved.
             raise ValueError(f"disk shape too large for one-word addresses: {self}")
@@ -52,10 +57,10 @@ class DiskShape:
     # -- size ---------------------------------------------------------------
 
     def sectors_per_cylinder(self) -> int:
-        return self.heads * self.sectors_per_track
+        return self._per_cylinder
 
     def total_sectors(self) -> int:
-        return self.cylinders * self.heads * self.sectors_per_track
+        return self._total
 
     def capacity_bytes(self) -> int:
         """Data capacity in bytes (page values only, as users see it)."""
@@ -89,8 +94,7 @@ class DiskShape:
     def decompose(self, address: int) -> Tuple[int, int, int]:
         """Split a linear address into (cylinder, head, sector)."""
         self.check_address(address)
-        per_cyl = self.sectors_per_cylinder()
-        cylinder, rest = divmod(address, per_cyl)
+        cylinder, rest = divmod(address, self._per_cylinder)
         head, sector = divmod(rest, self.sectors_per_track)
         return cylinder, head, sector
 
@@ -101,13 +105,20 @@ class DiskShape:
         return (cylinder * self.heads + head) * self.sectors_per_track + sector
 
     def check_address(self, address: int) -> int:
-        """Validate a linear address; returns it unchanged."""
+        """Validate a linear address; returns it unchanged.
+
+        This runs (several times) on every disk command, so the in-range
+        case is a single comparison chain; only rejects pay for the
+        precise typed error.  ``_total <= WORD_MASK`` (enforced at
+        construction) makes the NIL and word-range checks subsume into
+        ``address < _total``.
+        """
+        if isinstance(address, int) and 0 <= address < self._total:
+            return address
         from ..errors import AddressOutOfRange
 
         check_word(address, "disk address")
-        if address == NIL or address >= self.total_sectors():
-            raise AddressOutOfRange(f"address {address} not on {self.name} ({self.total_sectors()} sectors)")
-        return address
+        raise AddressOutOfRange(f"address {address} not on {self.name} ({self.total_sectors()} sectors)")
 
     def addresses(self) -> Iterator[int]:
         """All valid linear addresses in physical order."""

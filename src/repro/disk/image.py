@@ -10,11 +10,13 @@ the on-disk representation is the interface).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import AddressOutOfRange
+from ..words import ones_words, words_to_bytes
 from .geometry import DiskShape, diablo31
-from .sector import Label, Sector
+from .sector import Label, Sector, VALUE_WORDS
 
 
 class DiskImage:
@@ -23,9 +25,14 @@ class DiskImage:
     def __init__(self, shape: Optional[DiskShape] = None, pack_id: int = 1) -> None:
         self.shape = shape if shape is not None else diablo31()
         self.pack_id = pack_id
-        self._sectors: List[Sector] = [
-            Sector.fresh(pack_id, address) for address in self.shape.addresses()
-        ]
+        # Sectors are materialized on first touch: ``None`` stands for a
+        # factory-fresh sector (free label, all-ones value), which is what
+        # every address holds until something writes or inspects it.
+        # Building, snapshotting, and restoring a pack therefore cost
+        # nothing for the (typically large) untouched remainder.  The
+        # fresh header captures the pack id at construction time.
+        self._fresh_pack_id = pack_id
+        self._sectors: List[Optional[Sector]] = [None] * self.shape.total_sectors()
         #: Addresses the fault injector has marked as unreadable media.
         self.bad_media: set = set()
         #: ``(address, part)`` pairs whose checksum a torn write ruined;
@@ -35,10 +42,17 @@ class DiskImage:
 
     # -- access ---------------------------------------------------------------
 
+    def _materialize(self, address: int) -> Sector:
+        """The sector at *address*, created fresh on first touch."""
+        sector = self._sectors[address]
+        if sector is None:
+            sector = self._sectors[address] = Sector.fresh(self._fresh_pack_id, address)
+        return sector
+
     def sector(self, address: int) -> Sector:
         """The sector at *address* (validated against the shape)."""
         self.shape.check_address(address)
-        return self._sectors[address]
+        return self._materialize(address)
 
     def set_sector(self, address: int, sector: Sector) -> None:
         self.shape.check_address(address)
@@ -49,7 +63,7 @@ class DiskImage:
 
     def sectors(self) -> Iterator[Sector]:
         """All sectors in physical order."""
-        return iter(self._sectors)
+        return (self._materialize(address) for address in range(len(self._sectors)))
 
     # -- whole-pack operations --------------------------------------------------
 
@@ -58,36 +72,66 @@ class DiskImage:
         clone = DiskImage.__new__(DiskImage)
         clone.shape = self.shape
         clone.pack_id = self.pack_id
-        clone._sectors = [s.copy() for s in self._sectors]
+        clone._fresh_pack_id = self._fresh_pack_id
+        clone._sectors = [None if s is None else s.copy() for s in self._sectors]
         clone.bad_media = set(self.bad_media)
         clone.checksum_bad = set(self.checksum_bad)
         return clone
+
+    def digest(self) -> str:
+        """A canonical SHA-256 over the full platter state.
+
+        Covers every sector's header, label, and value words (in physical
+        order, big-endian packed) plus the fault-tracking sets, so two
+        packs digest equal iff they are byte-identical *and* agree on
+        which parts are unreadable.  The golden-image suite
+        (``tests/equivalence/``) pins workload digests with this.
+        """
+        h = hashlib.sha256()
+        # An unmaterialized sector digests as its factory-fresh words;
+        # only the header's address word varies, so the constant parts
+        # are packed once.
+        fresh_tail = (words_to_bytes(Label.free().pack())
+                      + words_to_bytes(ones_words(VALUE_WORDS)))
+        pack_id = self._fresh_pack_id
+        for address, sector in enumerate(self._sectors):
+            if sector is None:
+                h.update(words_to_bytes([pack_id, address]))
+                h.update(fresh_tail)
+            else:
+                h.update(words_to_bytes(sector.header_words()))
+                h.update(words_to_bytes(sector.label_words()))
+                h.update(words_to_bytes(sector.value))
+        h.update(repr(sorted(self.bad_media)).encode())
+        h.update(repr(sorted(self.checksum_bad)).encode())
+        return h.hexdigest()
 
     def restore(self, snapshot: "DiskImage") -> None:
         """Overwrite this pack's state from *snapshot* (same shape required)."""
         if snapshot.shape != self.shape:
             raise ValueError("snapshot is from a different disk shape")
         self.pack_id = snapshot.pack_id
-        self._sectors = [s.copy() for s in snapshot._sectors]
+        self._fresh_pack_id = snapshot._fresh_pack_id
+        self._sectors = [None if s is None else s.copy() for s in snapshot._sectors]
         self.bad_media = set(snapshot.bad_media)
         self.checksum_bad = set(snapshot.checksum_bad)
 
     # -- statistics (used by tests and benchmarks) -------------------------------
 
     def count_free(self) -> int:
-        return sum(1 for s in self._sectors if s.label.is_free)
+        return sum(1 for s in self._sectors if s is None or s.label.is_free)
 
     def count_in_use(self) -> int:
-        return sum(1 for s in self._sectors if s.label.in_use)
+        return sum(1 for s in self._sectors if s is not None and s.label.in_use)
 
     def count_bad(self) -> int:
-        return sum(1 for s in self._sectors if s.label.is_bad)
+        return sum(1 for s in self._sectors if s is not None and s.label.is_bad)
 
     def labels_by_serial(self) -> Dict[int, List[Label]]:
         """In-use labels grouped by file serial (a scavenger-style sweep,
         but without timing; for test assertions only)."""
         out: Dict[int, List[Label]] = {}
         for sector in self._sectors:
-            if sector.label.in_use:
+            if sector is not None and sector.label.in_use:
                 out.setdefault(sector.label.serial, []).append(sector.label)
         return out

@@ -57,13 +57,32 @@ class Header:
     address: int
 
     def pack(self) -> List[int]:
-        return [check_word(self.pack_id, "pack id"), check_word(self.address, "address")]
+        """Serialize to the two on-disk words (memoized; Header is frozen)."""
+        packed = self.__dict__.get("_packed")
+        if packed is None:
+            packed = [check_word(self.pack_id, "pack id"), check_word(self.address, "address")]
+            object.__setattr__(self, "_packed", packed)
+        return list(packed)
 
     @staticmethod
     def unpack(words: Sequence[int]) -> "Header":
         if len(words) != HEADER_WORDS:
             raise ValueError(f"header needs {HEADER_WORDS} words, got {len(words)}")
-        return Header(pack_id=words[0], address=words[1])
+        # Intern: frozen, and every sweep/restore re-derives the same few
+        # hundred (pack, address) pairs (see Label.unpack).
+        try:
+            key = (words[0], words[1])
+            cached = _HEADER_CACHE.get(key)
+        except TypeError:
+            key = cached = None
+        if cached is not None:
+            return cached
+        header = Header(pack_id=words[0], address=words[1])
+        if key is not None:
+            if len(_HEADER_CACHE) >= _UNPACK_CACHE_MAX:
+                _HEADER_CACHE.clear()
+            _HEADER_CACHE[key] = header
+        return header
 
 
 @dataclass(frozen=True)
@@ -108,23 +127,53 @@ class Label:
     # -- packing --------------------------------------------------------------
 
     def pack(self) -> List[int]:
-        """Serialize to the seven on-disk words."""
-        high, low = to_double_word(self.serial)
-        return [
-            high,
-            low,
-            check_word(self.version, "version"),
-            check_word(self.page_number, "page number"),
-            check_word(self.length, "length"),
-            check_word(self.next_link, "next link"),
-            check_word(self.prev_link, "prev link"),
-        ]
+        """Serialize to the seven on-disk words (memoized; Label is frozen)."""
+        packed = self.__dict__.get("_packed")
+        if packed is None:
+            serial = self.serial
+            version = self.version
+            page_number = self.page_number
+            length = self.length
+            next_link = self.next_link
+            prev_link = self.prev_link
+            if (type(serial) is int and 0 <= serial <= 0xFFFFFFFF
+                    and type(version) is int and 0 <= version <= WORD_MASK
+                    and type(page_number) is int and 0 <= page_number <= WORD_MASK
+                    and type(length) is int and 0 <= length <= WORD_MASK
+                    and type(next_link) is int and 0 <= next_link <= WORD_MASK
+                    and type(prev_link) is int and 0 <= prev_link <= WORD_MASK):
+                packed = [serial >> 16, serial & WORD_MASK, version,
+                          page_number, length, next_link, prev_link]
+            else:
+                # Out-of-range or non-int fields raise exactly as always.
+                high, low = to_double_word(serial)
+                packed = [
+                    high,
+                    low,
+                    check_word(version, "version"),
+                    check_word(page_number, "page number"),
+                    check_word(length, "length"),
+                    check_word(next_link, "next link"),
+                    check_word(prev_link, "prev link"),
+                ]
+            object.__setattr__(self, "_packed", packed)
+        return list(packed)
 
     @staticmethod
     def unpack(words: Sequence[int]) -> "Label":
         if len(words) != LABEL_WORDS:
             raise ValueError(f"label needs {LABEL_WORDS} words, got {len(words)}")
-        return Label(
+        # Intern: Label is frozen, so identical on-disk words can share one
+        # object (a sweep unpacks the same few thousand labels over and
+        # over).  Unhashable words fall through to plain construction.
+        try:
+            key = tuple(words)
+            cached = _UNPACK_CACHE.get(key)
+        except TypeError:
+            key = cached = None
+        if cached is not None:
+            return cached
+        label = Label(
             serial=from_double_word(words[0], words[1]),
             version=words[2],
             page_number=words[3],
@@ -132,11 +181,25 @@ class Label:
             next_link=words[5],
             prev_link=words[6],
         )
+        if key is not None:
+            # Seed the pack() memo only when round-tripping is exact (all
+            # plain in-range words); otherwise pack() must keep raising.
+            if all(type(w) is int and 0 <= w <= WORD_MASK for w in key):
+                label.__dict__["_packed"] = list(key)
+            if len(_UNPACK_CACHE) >= _UNPACK_CACHE_MAX:
+                _UNPACK_CACHE.clear()
+            _UNPACK_CACHE[key] = label
+        return label
 
     @staticmethod
     def free() -> "Label":
-        """The all-ones label written when a page is freed."""
-        return Label.unpack(ones_words(LABEL_WORDS))
+        """The all-ones label written when a page is freed.
+
+        Returns a shared singleton: Label is frozen, so every fresh or
+        freed sector can carry the same object (pack formatting creates
+        thousands at once).
+        """
+        return _FREE_LABEL
 
     @staticmethod
     def bad() -> "Label":
@@ -145,12 +208,16 @@ class Label:
 
     def with_links(self, next_link: int = None, prev_link: int = None) -> "Label":
         """A copy with one or both links replaced."""
-        out = self
-        if next_link is not None:
-            out = replace(out, next_link=next_link)
-        if prev_link is not None:
-            out = replace(out, prev_link=prev_link)
-        return out
+        if next_link is None and prev_link is None:
+            return self
+        return Label(
+            serial=self.serial,
+            version=self.version,
+            page_number=self.page_number,
+            length=self.length,
+            next_link=self.next_link if next_link is None else next_link,
+            prev_link=self.prev_link if prev_link is None else prev_link,
+        )
 
     def absolute_key(self):
         """The absolute name (serial, version, page number) for sorting.
@@ -161,25 +228,151 @@ class Label:
         return (self.serial, self.version, self.page_number)
 
 
-@dataclass
+#: Interned labels/headers by their exact packed words (see the
+#: ``unpack`` methods).
+_UNPACK_CACHE: dict = {}
+_HEADER_CACHE: dict = {}
+_UNPACK_CACHE_MAX = 8192
+
+#: The shared free label (see :meth:`Label.free`).
+_FREE_LABEL = Label(
+    serial=SERIAL_FREE,
+    version=WORD_MASK,
+    page_number=WORD_MASK,
+    length=WORD_MASK,
+    next_link=NIL,
+    prev_link=NIL,
+)
+
+
 class Sector:
-    """The full on-disk state of one sector."""
+    """The full on-disk state of one sector.
 
-    header: Header
-    label: Label = field(default_factory=Label.free)
-    value: List[int] = field(default_factory=lambda: ones_words(VALUE_WORDS))
+    Internally the header and label are held as their *packed word lists*
+    -- what the platter actually stores and what the drive's per-part
+    commands move -- with the ``Header``/``Label`` object views
+    materialized lazily and cached.  ``sector.header`` / ``sector.label``
+    read and assign exactly as before; the drive's hot paths use
+    :meth:`header_words` / :meth:`label_words` and skip object
+    construction entirely.  The two representations are kept in lockstep:
+    writing either one invalidates the other's cache.
+    """
 
-    def __post_init__(self) -> None:
-        if len(self.value) != VALUE_WORDS:
-            raise ValueError(f"sector value needs {VALUE_WORDS} words, got {len(self.value)}")
+    __slots__ = ("_header_obj", "_header_words", "_label_obj", "_label_words", "value")
+
+    def __init__(self, header: Header, label: Label = None, value: List[int] = None) -> None:
+        self._header_obj = header
+        self._header_words = None
+        self._label_obj = label if label is not None else _FREE_LABEL
+        self._label_words = None
+        if value is None:
+            value = ones_words(VALUE_WORDS)
+        elif len(value) != VALUE_WORDS:
+            raise ValueError(f"sector value needs {VALUE_WORDS} words, got {len(value)}")
+        self.value = value
+
+    # -- object views (cached) -----------------------------------------------
+
+    @property
+    def header(self) -> Header:
+        obj = self._header_obj
+        if obj is None:
+            obj = self._header_obj = Header.unpack(self._header_words)
+        return obj
+
+    @header.setter
+    def header(self, header: Header) -> None:
+        self._header_obj = header
+        self._header_words = None
+
+    @property
+    def label(self) -> Label:
+        obj = self._label_obj
+        if obj is None:
+            obj = self._label_obj = Label.unpack(self._label_words)
+        return obj
+
+    @label.setter
+    def label(self, label: Label) -> None:
+        self._label_obj = label
+        self._label_words = None
+
+    # -- packed views (what the head reads and writes) ------------------------
+
+    def header_words(self) -> List[int]:
+        """The packed header, as stored.  The drive treats the returned
+        list as read-only; replace it only through :meth:`set_header_words`."""
+        packed = self._header_words
+        if packed is None:
+            packed = self._header_words = self._header_obj.pack()
+        return packed
+
+    def label_words(self) -> List[int]:
+        """The packed label, as stored (read-only; see :meth:`set_label_words`)."""
+        packed = self._label_words
+        if packed is None:
+            packed = self._label_words = self._label_obj.pack()
+        return packed
+
+    def set_header_words(self, data: List[int]) -> None:
+        """Install *data* (length-validated by the caller) as the header."""
+        self._header_words = data
+        self._header_obj = None
+
+    def set_label_words(self, data: List[int]) -> None:
+        """Install *data* as the label.
+
+        Suspect words (out of range, or not ints at all) are routed through
+        ``Label.unpack`` so a bad write fails -- or, for the fields unpack
+        historically left unchecked, succeeds -- exactly as the object path
+        did."""
+        try:
+            suspect = min(data) < 0 or max(data) > WORD_MASK
+        except TypeError:
+            suspect = True
+        if suspect:
+            self._label_obj = Label.unpack(data)
+            self._label_words = None
+            return
+        self._label_words = data
+        self._label_obj = None
+
+    # -- copying ---------------------------------------------------------------
 
     def copy(self) -> "Sector":
-        return Sector(header=self.header, label=self.label, value=list(self.value))
+        """A deep copy (value words fresh; frozen objects shared)."""
+        clone = Sector.__new__(Sector)
+        clone._header_obj = self._header_obj
+        clone._header_words = list(self._header_words) if self._header_words is not None else None
+        clone._label_obj = self._label_obj
+        clone._label_words = list(self._label_words) if self._label_words is not None else None
+        clone.value = list(self.value)
+        return clone
 
     @staticmethod
     def fresh(pack_id: int, address: int) -> "Sector":
-        """A factory-fresh (never-written) sector: free label, ones value."""
-        return Sector(header=Header(pack_id=pack_id, address=address))
+        """A factory-fresh (never-written) sector: free label, ones value.
+
+        Pack formatting creates one per sector in a tight loop, so in-range
+        inputs install the packed header words directly; anything else goes
+        through the ``Header`` object, whose ``pack()`` raises exactly
+        where it always did.
+        """
+        sector = Sector.__new__(Sector)
+        if (type(pack_id) is int and 0 <= pack_id <= WORD_MASK
+                and type(address) is int and 0 <= address <= WORD_MASK):
+            sector._header_obj = None
+            sector._header_words = [pack_id, address]
+        else:
+            sector._header_obj = Header(pack_id=pack_id, address=address)
+            sector._header_words = None
+        sector._label_obj = _FREE_LABEL
+        sector._label_words = None
+        sector.value = [WORD_MASK] * VALUE_WORDS
+        return sector
+
+    def __repr__(self) -> str:
+        return f"Sector(header={self.header!r}, label={self.label!r}, value=<{len(self.value)} words>)"
 
 
 def value_words(data: Sequence[int]) -> List[int]:
@@ -187,6 +380,12 @@ def value_words(data: Sequence[int]) -> List[int]:
     data = list(data)
     if len(data) > VALUE_WORDS:
         raise ValueError(f"value too long: {len(data)} > {VALUE_WORDS}")
-    for w in data:
-        check_word(w, "value word")
+    if data:
+        try:
+            out_of_range = min(data) < 0 or max(data) > WORD_MASK
+        except TypeError:
+            out_of_range = True  # non-int present: find it below
+        if out_of_range:
+            for w in data:
+                check_word(w, "value word")
     return data + zero_words(VALUE_WORDS - len(data))

@@ -34,14 +34,18 @@ class ArmTimer:
         self.cylinder = 0
         self.seeks = 0
         self.sectors_transferred = 0
+        # Shape-derived constants, precomputed: these feed every sector
+        # command and must not pay float round-trips per call.
+        self._rotation_us_cached = round(shape.rotation_ms * MICROSECONDS_PER_MILLISECOND)
+        self._sector_us_cached = round(shape.sector_time_ms() * MICROSECONDS_PER_MILLISECOND)
 
     # -- internal helpers -------------------------------------------------------
 
     def _rotation_us(self) -> int:
-        return round(self.shape.rotation_ms * MICROSECONDS_PER_MILLISECOND)
+        return self._rotation_us_cached
 
     def _sector_us(self) -> int:
-        return round(self.shape.sector_time_ms() * MICROSECONDS_PER_MILLISECOND)
+        return self._sector_us_cached
 
     def rotational_position_us(self) -> int:
         """Microseconds into the current platter revolution."""
@@ -58,21 +62,63 @@ class ArmTimer:
 
     def wait_for_sector(self, sector: int) -> None:
         """Spin until *sector*'s leading edge is under the head."""
-        target_us = sector * self._sector_us()
-        position_us = self.rotational_position_us()
-        wait_us = (target_us - position_us) % self._rotation_us()
+        target_us = sector * self._sector_us_cached
+        position_us = self.clock.now_us % self._rotation_us_cached
+        wait_us = (target_us - position_us) % self._rotation_us_cached
         self.clock.advance_us(wait_us, ROTATION)
 
     def transfer_sector(self) -> None:
         """Charge one sector time of transfer."""
-        self.clock.advance_us(self._sector_us(), TRANSFER)
+        self.clock.advance_us(self._sector_us_cached, TRANSFER)
         self.sectors_transferred += 1
 
     def position_for(self, address: int) -> None:
-        """Seek + rotational wait for the sector at *address*."""
-        cylinder, _head, sector = self.shape.decompose(address)
+        """Seek + rotational wait for the sector at *address*.
+
+        The address was validated by the caller (the drive validates every
+        command's address before charging time), so the decomposition here
+        skips re-validation.
+        """
+        cylinder, rest = divmod(address, self.shape._per_cylinder)
         self.seek_to(cylinder)
-        self.wait_for_sector(sector)
+        self.wait_for_sector(rest % self.shape.sectors_per_track)
+
+    def position_and_transfer(self, address: int) -> None:
+        """:meth:`position_for` + :meth:`transfer_sector`, fused.
+
+        The per-command charging sequence of the drive's hot path: seek,
+        rotational wait, one sector of transfer -- identical microseconds
+        and tally categories, one call instead of four.
+        """
+        shape = self.shape
+        cylinder, rest = divmod(address, shape._per_cylinder)
+        if cylinder != self.cylinder:
+            self.clock.advance_ms(shape.seek_time_ms(self.cylinder, cylinder), SEEK)
+            self.cylinder = cylinder
+            self.seeks += 1
+        clock = self.clock
+        rotation_us = self._rotation_us_cached
+        sector_us = self._sector_us_cached
+        target_us = (rest % shape.sectors_per_track) * sector_us
+        wait_us = (target_us - clock._now_us % rotation_us) % rotation_us
+        if clock._watchers:
+            clock.advance_us(wait_us, ROTATION)
+            clock.advance_us(sector_us, TRANSFER)
+        else:
+            # Both charges applied in one step (watchers would need the
+            # intermediate instant; with none registered this is exactly
+            # two advance_us calls).
+            clock._now_us += wait_us + sector_us
+            tallies = clock._tallies
+            try:
+                tallies[ROTATION] += wait_us
+            except KeyError:
+                tallies[ROTATION] = wait_us
+            try:
+                tallies[TRANSFER] += sector_us
+            except KeyError:
+                tallies[TRANSFER] = sector_us
+        self.sectors_transferred += 1
 
     # -- accounting helpers -------------------------------------------------------
 

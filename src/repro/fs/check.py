@@ -37,7 +37,7 @@ from ..disk.faults import FaultPlan
 from ..disk.geometry import tiny_test_disk
 from ..disk.image import DiskImage
 from ..errors import PowerFailure, ReproError
-from ..words import PAGE_DATA_BYTES
+from ..words import PAGE_DATA_BYTES, random_bytes
 from .descriptor import BOOT_PAGE_ADDRESS, DESCRIPTOR_NAME
 from .filesystem import FileSystem, ROOT_DIRECTORY_NAME
 from .fsck import check_image
@@ -363,7 +363,7 @@ def canonical_build(seed: int = 1979, cylinders: int = 20):
         fs = FileSystem.format(DiskDrive(image))
         rng = random.Random(seed)
         for i in range(8):
-            data = bytes(rng.randrange(256) for _ in range(rng.randrange(100, 1800)))
+            data = random_bytes(rng, rng.randrange(100, 1800))
             fs.create_file(f"f{i}.dat").write_data(data)
         fs.sync()
         return image, fs
@@ -377,9 +377,9 @@ def canonical_workload(seed: int = 1979):
 
     def workload(fs: FileSystem) -> Dict[str, Change]:
         rng = random.Random(seed + 1)
-        grown = bytes(rng.randrange(256) for _ in range(2300))
-        shrunk = bytes(rng.randrange(256) for _ in range(150))
-        created = bytes(rng.randrange(256) for _ in range(900))
+        grown = random_bytes(rng, 2300)
+        shrunk = random_bytes(rng, 150)
+        created = random_bytes(rng, 900)
         old = {name: fs.open_file(name).read_data() for name in
                ("f0.dat", "f1.dat", "f2.dat", "f3.dat", "f4.dat")}
         changes = {

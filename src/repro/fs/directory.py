@@ -94,18 +94,49 @@ class Directory:
     # Parsing
     # ------------------------------------------------------------------------
 
-    def _words(self) -> List[int]:
+    #: Parse results keyed by the directory file's exact content bytes.
+    #: Every query re-reads the directory through the drive (that is the
+    #: simulated system's behaviour and cost model, and stays untouched),
+    #: but re-parsing identical bytes into the same immutable DirEntry
+    #: objects is pure computation, so it is memoized.  Keying on content
+    #: makes invalidation automatic; the cap bounds memory on churn.
+    _parse_cache: dict = {}
+    _PARSE_CACHE_MAX = 128
+
+    def _snapshot(self):
+        """``(words, parsed)`` for the current directory content: the raw
+        word tuple and the ``(offset, length, entry)`` triples."""
         data = self.file.read_data()
         if len(data) % 2:
             raise DirectoryError(f"directory {self.name!r} has odd byte length {len(data)}")
-        return bytes_to_words(data)
+        cached = Directory._parse_cache.get(data)
+        if cached is None:
+            words = bytes_to_words(data)
+            cached = (tuple(words), tuple(Directory._parse(words)))
+            if len(Directory._parse_cache) >= Directory._PARSE_CACHE_MAX:
+                Directory._parse_cache.clear()
+            Directory._parse_cache[data] = cached
+        return cached
+
+    def _words(self) -> List[int]:
+        return list(self._snapshot()[0])
 
     def _store(self, words: List[int]) -> None:
         self.file.write_data(words_to_bytes(words))
 
+    #: Constructed DirEntry objects keyed by their exact entry words.  An
+    #: entry's words are stable while the directory grows and shrinks
+    #: around it, so the (pure, immutable) DirEntry can be reused across
+    #: re-parses of every later content revision.  Identical words always
+    #: construct an identical entry; corrupt words are never cached (they
+    #: raise during construction).
+    _entry_cache: dict = {}
+    _ENTRY_CACHE_MAX = 4096
+
     @staticmethod
     def _parse(words: List[int]) -> Iterator:
         """Yield (offset, length, entry-or-None) over the raw entry list."""
+        cache = Directory._entry_cache
         offset = 0
         while offset < len(words):
             header = words[offset]
@@ -113,16 +144,22 @@ class Directory:
             if length < 1 or offset + length > len(words):
                 raise DirectoryError(f"corrupt directory entry at word {offset}")
             if etype == ENTRY_FILE:
-                if length < _FIXED_ENTRY_WORDS + 1:
-                    raise DirectoryError(f"file entry too short at word {offset}")
-                serial = from_double_word(words[offset + 1], words[offset + 2])
-                version = words[offset + 3]
-                address = words[offset + 4]
-                try:
-                    name = words_to_string(words[offset + 5 : offset + length])
-                except ValueError as exc:
-                    raise DirectoryError(f"corrupt entry name at word {offset}: {exc}") from exc
-                entry = DirEntry(name, FullName(FileId(serial, version), 0, address))
+                key = tuple(words[offset : offset + length])
+                entry = cache.get(key)
+                if entry is None:
+                    if length < _FIXED_ENTRY_WORDS + 1:
+                        raise DirectoryError(f"file entry too short at word {offset}")
+                    serial = from_double_word(words[offset + 1], words[offset + 2])
+                    version = words[offset + 3]
+                    address = words[offset + 4]
+                    try:
+                        name = words_to_string(words[offset + 5 : offset + length])
+                    except ValueError as exc:
+                        raise DirectoryError(f"corrupt entry name at word {offset}: {exc}") from exc
+                    entry = DirEntry(name, FullName(FileId(serial, version), 0, address))
+                    if len(cache) >= Directory._ENTRY_CACHE_MAX:
+                        cache.clear()
+                    cache[key] = entry
             elif etype == ENTRY_HOLE:
                 entry = None
             else:
@@ -136,13 +173,13 @@ class Directory:
 
     def entries(self) -> List[DirEntry]:
         """All live entries, in directory order."""
-        return [entry for _o, _l, entry in self._parse(self._words()) if entry is not None]
+        return [entry for _o, _l, entry in self._snapshot()[1] if entry is not None]
 
     def lookup(self, name: str) -> Optional[DirEntry]:
         """Find an entry by name (case-insensitive); None when absent."""
         wanted = name.lower()
-        for entry in self.entries():
-            if entry.name.lower() == wanted:
+        for _o, _l, entry in self._snapshot()[1]:
+            if entry is not None and entry.name.lower() == wanted:
                 return entry
         return None
 
@@ -172,13 +209,14 @@ class Directory:
         otherwise a duplicate name raises :class:`DirectoryError`.
         """
         check_name(name)
-        words = self._words()
+        raw, parsed = self._snapshot()
+        words = list(raw)
         packed = DirEntry(name, full_name).pack()
         wanted = name.lower()
 
         existing = None
         best_hole = None
-        for offset, length, entry in self._parse(words):
+        for offset, length, entry in parsed:
             if entry is not None and entry.name.lower() == wanted:
                 existing = (offset, length)
             elif entry is None and length >= len(packed) and best_hole is None:
@@ -189,12 +227,13 @@ class Directory:
                 raise DirectoryError(f"{name!r} already in directory {self.name!r}")
             offset, length = existing
             words[offset : offset + length] = _hole(length)
-            # Fall through to reinsert (the hole just made may be reused).
+            # Fall through to reinsert (the hole just made may be reused;
+            # the words were mutated, so reparse rather than reuse `parsed`).
             return self._insert(words, packed)
-        return self._insert(words, packed)
+        return self._insert(words, packed, parsed)
 
-    def _insert(self, words: List[int], packed: List[int]) -> None:
-        for offset, length, entry in self._parse(words):
+    def _insert(self, words: List[int], packed: List[int], parsed=None) -> None:
+        for offset, length, entry in (self._parse(words) if parsed is None else parsed):
             if entry is None and length >= len(packed):
                 remainder = length - len(packed)
                 if remainder == 1:
@@ -209,10 +248,11 @@ class Directory:
 
     def remove(self, name: str) -> DirEntry:
         """Remove an entry by name; returns it.  The space becomes a hole."""
-        words = self._words()
+        raw, parsed = self._snapshot()
         wanted = name.lower()
-        for offset, length, entry in self._parse(words):
+        for offset, length, entry in parsed:
             if entry is not None and entry.name.lower() == wanted:
+                words = list(raw)
                 words[offset : offset + length] = _hole(length)
                 self._store(words)
                 return entry
@@ -221,10 +261,11 @@ class Directory:
     def update_hint(self, name: str, address: int) -> None:
         """Fix the leader-address hint of an entry in place (the scavenger's
         "fixing up the address if necessary", section 3.5)."""
-        words = self._words()
+        raw, parsed = self._snapshot()
         wanted = name.lower()
-        for offset, _length, entry in self._parse(words):
+        for offset, _length, entry in parsed:
             if entry is not None and entry.name.lower() == wanted:
+                words = list(raw)
                 words[offset + 4] = address
                 return self._store(words)
         raise FileNotFound(f"{name!r} not in directory {self.name!r}")
@@ -234,9 +275,10 @@ class Directory:
 
         Used by the scavenger for entries that point at nonexistent files.
         """
-        words = self._words()
+        raw, parsed = self._snapshot()
+        words = list(raw)
         nulled = 0
-        for offset, length, entry in self._parse(words):
+        for offset, length, entry in parsed:
             if entry is not None and predicate(entry):
                 words[offset : offset + length] = _hole(length)
                 nulled += 1

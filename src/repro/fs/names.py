@@ -110,17 +110,27 @@ class FileId:
 
     def check_label(self, page_number: int) -> Label:
         """An expected-label pattern identifying page (self, page_number)
-        while wildcarding length and links (the caller does not know them)."""
-        if not 0 <= page_number <= MAX_PAGE_NUMBER:
-            raise ValueError(f"page number out of range: {page_number}")
-        return Label(
-            serial=self.serial,
-            version=self.version,
-            page_number=page_number + PAGE_NUMBER_BIAS,
-            length=0,  # wildcard
-            next_link=0,  # wildcard
-            prev_link=0,  # wildcard
-        )
+        while wildcarding length and links (the caller does not know them).
+
+        Memoized per page number on the (frozen) instance: full names are
+        rebuilt for every page operation, but the patterns they derive are
+        pure functions of (fid, page)."""
+        cache = self.__dict__.get("_check_labels")
+        if cache is None:
+            cache = self.__dict__["_check_labels"] = {}
+        label = cache.get(page_number)
+        if label is None:
+            if not 0 <= page_number <= MAX_PAGE_NUMBER:
+                raise ValueError(f"page number out of range: {page_number}")
+            label = cache[page_number] = Label(
+                serial=self.serial,
+                version=self.version,
+                page_number=page_number + PAGE_NUMBER_BIAS,
+                length=0,  # wildcard
+                next_link=0,  # wildcard
+                prev_link=0,  # wildcard
+            )
+        return label
 
     def owns(self, label: Label) -> bool:
         """True when *label* belongs to any page of this file."""
@@ -176,8 +186,17 @@ class FullName:
         return replace(self, address=address)
 
     def check_label(self) -> Label:
-        """Expected-label pattern for the drive's check action."""
-        return self.fid.check_label(self.page_number)
+        """Expected-label pattern for the drive's check action.
+
+        Memoized on the (frozen) instance: every guarded page operation
+        re-derives this pattern, and reusing one Label lets its packed
+        form be memoized too.
+        """
+        label = self.__dict__.get("_check_label")
+        if label is None:
+            label = self.fid.check_label(self.page_number)
+            self.__dict__["_check_label"] = label
+        return label
 
     def __str__(self) -> str:
         hint = f"@{self.address}" if self.has_address_hint else "@?"

@@ -66,27 +66,34 @@ class PageIO:
     def read(self, name: FullName) -> PageContents:
         """Read a page's data, confirming its absolute identity first."""
         self._require_hint(name)
-        with self.drive.clock.obs.span("fs.page.read", "fs",
-                                       address=name.address,
-                                       page=name.page_number):
-            try:
-                result = self.drive.check_label_read_value(name.address, name.check_label())
-            except (LabelCheckError, AddressOutOfRange) as exc:
-                raise HintFailed(f"page {name} is not at its hinted address") from exc
+        obs = self.drive.clock.obs
+        if obs.tracing:
+            with obs.span("fs.page.read", "fs",
+                          address=name.address, page=name.page_number):
+                return self._read(name)
+        return self._read(name)
+
+    def _read(self, name: FullName) -> PageContents:
+        try:
+            result = self.drive.check_label_read_value(name.address, name.check_label())
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
         return PageContents(name=name, label=result.label_object(), value=result.value)
 
     def read_label(self, name: FullName) -> Label:
         """Read (and verify) just the label -- the cheap way to get links."""
         self._require_hint(name)
-        with self.drive.clock.obs.span("fs.page.read_label", "fs",
-                                       address=name.address):
-            try:
-                result = self.drive.transfer(
-                    name.address,
-                    label=_check_command(name),
-                )
-            except (LabelCheckError, AddressOutOfRange) as exc:
-                raise HintFailed(f"page {name} is not at its hinted address") from exc
+        obs = self.drive.clock.obs
+        if obs.tracing:
+            with obs.span("fs.page.read_label", "fs", address=name.address):
+                return self._read_label(name)
+        return self._read_label(name)
+
+    def _read_label(self, name: FullName) -> Label:
+        try:
+            result = self.drive.check_label(name.address, name.check_label())
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
         return result.label_object()
 
     def write(self, name: FullName, data: Sequence[int]) -> None:
@@ -96,13 +103,18 @@ class PageIO:
         (section 3.3) -- this is that ordinary, single-pass write.
         """
         self._require_hint(name)
-        with self.drive.clock.obs.span("fs.page.write", "fs",
-                                       address=name.address,
-                                       page=name.page_number):
-            try:
-                self.drive.check_label_write_value(name.address, name.check_label(), value_words(data))
-            except (LabelCheckError, AddressOutOfRange) as exc:
-                raise HintFailed(f"page {name} is not at its hinted address") from exc
+        obs = self.drive.clock.obs
+        if obs.tracing:
+            with obs.span("fs.page.write", "fs",
+                          address=name.address, page=name.page_number):
+                return self._write(name, data)
+        return self._write(name, data)
+
+    def _write(self, name: FullName, data: Sequence[int]) -> None:
+        try:
+            self.drive.check_label_write_value(name.address, name.check_label(), value_words(data))
+        except (LabelCheckError, AddressOutOfRange) as exc:
+            raise HintFailed(f"page {name} is not at its hinted address") from exc
 
     # -- label-rewriting operations (two disk passes: one revolution) -------------
 
@@ -153,17 +165,11 @@ class PageIO:
         """
         self._require_hint(name)
         try:
-            result = self.drive.transfer(
-                name.address, label=_check_command(name)
-            )
+            result = self.drive.check_label(name.address, name.check_label())
             current = result.label_object()
             new_label = transform(current)
-            from ..disk.drive import Action, PartCommand
-
-            self.drive.transfer(
-                name.address,
-                label=PartCommand(Action.WRITE, new_label.pack()),
-                value=PartCommand(Action.WRITE, self.drive.current_value(name.address)),
+            self.drive.write_label_value(
+                name.address, new_label, self.drive.current_value(name.address)
             )
             return new_label
         except (LabelCheckError, AddressOutOfRange) as exc:
@@ -216,9 +222,3 @@ class PageIO:
     def _require_hint(name: FullName) -> None:
         if not name.has_address_hint:
             raise HintFailed(f"page {name} has no address hint; resolve it first")
-
-
-def _check_command(name: FullName):
-    from ..disk.drive import Action, PartCommand
-
-    return PartCommand(Action.CHECK, name.check_label().pack())

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..disk.drive import Action, DiskDrive, PartCommand
 from ..disk.geometry import NIL
-from ..disk.sector import Header, Label, SERIAL_BAD, VALUE_WORDS
+from ..disk.sector import Header, Label, SERIAL_BAD, SERIAL_FREE, VALUE_WORDS
 from ..errors import (
     BadSectorError,
     DirectoryError,
@@ -205,40 +205,37 @@ class Scavenger:
         because chained label reads ride the rotation), deferring repairs."""
         shape = self.drive.shape
         garbage: List[Tuple[int, List[int]]] = []
+        # Physical order is linear-address order (compose() is the mixed-
+        # radix expansion), so the cylinder/head/sector walk is a flat range
+        # taken one cylinder at a time.
+        per_cylinder = shape.heads * shape.sectors_per_track
         for cylinder in range(shape.cylinders):
-            labels_this_cylinder = 0
-            for head in range(shape.heads):
-                for sector in range(shape.sectors_per_track):
-                    address = shape.compose(cylinder, head, sector)
-                    labels_this_cylinder += 1
-                    # Label and value ride the same revolution; reading both
-                    # costs nothing extra and lets the controller verify the
-                    # value checksum in passing (torn writes surface here).
-                    try:
-                        result = self.drive.transfer(
-                            address,
-                            label=PartCommand(Action.READ),
-                            value=PartCommand(Action.READ),
-                        )
-                        label = Label.unpack(result.label)
-                    except SectorChecksumError as exc:
-                        if exc.part == "value":
-                            # The label still identifies the page; note the
-                            # unreadable value for the file-repair phase.
-                            label = self.drive.read_label(address)
-                            self._value_bad.add(address)
-                        else:
-                            # The page's identity itself was torn: reclaim
-                            # the sector (fresh writes lay down checksums).
-                            self._reclaim_torn(address)
-                            continue
-                    except BadSectorError:
-                        self.report.bad_sectors.append(address)
+            base = cylinder * per_cylinder
+            for address in range(base, base + per_cylinder):
+                # Label and value ride the same revolution; reading both
+                # costs nothing extra and lets the controller verify the
+                # value checksum in passing (torn writes surface here).
+                try:
+                    result = self.drive.read_label_value(address)
+                    label = Label.unpack(result.label)
+                except SectorChecksumError as exc:
+                    if exc.part == "value":
+                        # The label still identifies the page; note the
+                        # unreadable value for the file-repair phase.
+                        label = self.drive.read_label(address)
+                        self._value_bad.add(address)
+                    else:
+                        # The page's identity itself was torn: reclaim
+                        # the sector (fresh writes lay down checksums).
+                        self._reclaim_torn(address)
                         continue
-                    self._classify(address, label, garbage)
+                except BadSectorError:
+                    self.report.bad_sectors.append(address)
+                    continue
+                self._classify(address, label, garbage)
             # Table maintenance overlaps the head switch / seek in the real
             # scavenger; we charge it in bulk per cylinder.
-            self.drive.clock.advance_us(labels_this_cylinder * CPU_PER_LABEL_US, CPU)
+            self.drive.clock.advance_us(per_cylinder * CPU_PER_LABEL_US, CPU)
         self.report.sectors_swept = shape.total_sectors()
         self.report.table_entries = len(self._pages)
         # Memory-budget check (section 3.5): 48 bits = 3 words per sector.
@@ -252,10 +249,11 @@ class Scavenger:
             self.report.garbage_labels_freed += 1
 
     def _classify(self, address: int, label: Label, garbage) -> None:
-        if label.is_free:
+        serial = label.serial
+        if serial == SERIAL_FREE:
             self._free.add(address)
             return
-        if label.is_bad:
+        if serial == SERIAL_BAD:
             self.report.bad_sectors.append(address)
             return
         if not self._parseable(label):

@@ -27,17 +27,24 @@ Number = Union[int, float]
 class Counter:
     """A monotonically adjusted running total."""
 
-    __slots__ = ("name", "value", "_mirror")
+    __slots__ = ("name", "value", "_mirror", "_chain")
 
     def __init__(self, name: str, mirror: Optional["Counter"] = None) -> None:
         self.name = name
         self.value = 0
         self._mirror = mirror
+        # The mirror chain is fixed at creation (parents exist before their
+        # children), so flatten it once: inc() then updates every level in
+        # one loop instead of recursing per registry generation.
+        chain = [self]
+        while mirror is not None:
+            chain.append(mirror)
+            mirror = mirror._mirror
+        self._chain = chain
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
-        if self._mirror is not None:
-            self._mirror.inc(amount)
+        for counter in self._chain:
+            counter.value += amount
 
 
 class Gauge:
@@ -180,11 +187,24 @@ class CounterAttr:
     def __init__(self, metric: str) -> None:
         self.metric = metric
 
+    def _counter(self, obj) -> Counter:
+        # Resolve through the registry once per (instance, metric), then
+        # keep the Counter itself on the instance: stats increments sit on
+        # the disk-command hot path and must not re-walk the registry.
+        cache = obj.__dict__.get("_counter_cache")
+        if cache is None:
+            cache = {}
+            obj.__dict__["_counter_cache"] = cache
+        counter = cache.get(self.metric)
+        if counter is None:
+            counter = cache[self.metric] = obj.registry.counter(self.metric)
+        return counter
+
     def __get__(self, obj, objtype=None):
         if obj is None:
             return self
-        return obj.registry.counter(self.metric).value
+        return self._counter(obj).value
 
     def __set__(self, obj, value) -> None:
-        counter = obj.registry.counter(self.metric)
+        counter = self._counter(obj)
         counter.inc(value - counter.value)

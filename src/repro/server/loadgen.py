@@ -31,6 +31,7 @@ from ..disk.geometry import diablo31, tiny_test_disk
 from ..disk.image import DiskImage
 from ..fs.filesystem import FileSystem
 from ..net.network import PacketNetwork
+from ..words import random_bytes
 from .client import FileClient, PendingRequest
 from .engine import FileServer
 from .protocol import Request, Response, ST_OK
@@ -271,7 +272,7 @@ class LoadGenerator:
         scripts = []
         for index, client in enumerate(self.system.clients):
             size = self.file_bytes + rng.randrange(0, 256)
-            data = bytes(rng.randrange(256) for _ in range(size))
+            data = random_bytes(rng, size)
             scripts.append((client,
                             client_script(client, f"load{index:03d}.dat", data,
                                           self.read_rounds, self.with_list),

@@ -152,13 +152,15 @@ class Response:
 
 def _encode(magic: int, words: List[int], payload: Tuple[int, ...],
             source: str, destination: str) -> List[Packet]:
+    if type(payload) is not tuple:
+        payload = tuple(payload)
     header = [magic] + words + [len(payload)]
     room = MAX_PAYLOAD_WORDS - len(header)
     packets = [Packet(source, destination, TYPE_CONTROL,
-                      tuple(header) + tuple(payload[:room]))]
+                      tuple(header) + payload[:room])]
     for base in range(room, len(payload), MAX_PAYLOAD_WORDS):
         packets.append(Packet(source, destination, TYPE_DATA,
-                              tuple(payload[base: base + MAX_PAYLOAD_WORDS])))
+                              payload[base: base + MAX_PAYLOAD_WORDS]))
     return packets
 
 
@@ -269,7 +271,6 @@ class FrameAssembler:
         else:
             self.stray += 1
             return None
-        partial = self._partials[source]
         if len(partial.payload) == partial.expected:
             del self._partials[source]
             return source, _build(partial.magic, partial.header[:5],

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import FileNotFound, ReproError
 from ..fs.filesystem import FileSystem
+from ..words import random_bytes
 
 #: The durable commit record on the *target* pack.  Its existence is the
 #: whole commit state: present = roll forward, absent = roll back.
@@ -270,10 +271,10 @@ def _build_shipping_lab(seed: int, cylinders: int):
     contents: Dict[str, bytes] = {}
     for i in range(10):
         name = f"ship{i}.dat"
-        data = bytes(rng.randrange(256) for _ in range(rng.randrange(80, 1500)))
+        data = random_bytes(rng, rng.randrange(80, 1500))
         source_fs.create_file(name).write_data(data)
         contents[name] = data
-    stay = bytes(rng.randrange(256) for _ in range(700))
+    stay = random_bytes(rng, 700)
     target_fs.create_file("resident.dat").write_data(stay)
     source_fs.sync()
     target_fs.sync()

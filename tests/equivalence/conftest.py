@@ -1,0 +1,27 @@
+"""Every equivalence test runs on both sides of the numpy gate.
+
+The ``numpy_mode`` fixture parametrizes the whole package over
+``["numpy", "pure"]``: the first leg runs with the accelerated branch (and
+skips on machines without numpy), the second forces the pure-Python branch
+through :func:`repro.fastpath.force_pure_python`.  Both legs must produce
+identical results -- the golden digests are shared, not per-leg.
+"""
+
+import pytest
+
+from repro import fastpath
+
+
+@pytest.fixture(params=["numpy", "pure"])
+def numpy_mode(request):
+    """Run the test under the requested fast-path branch; restore after."""
+    if request.param == "numpy":
+        if not fastpath.numpy_available():
+            pytest.skip("numpy not installed; pure-Python leg covers this run")
+        yield "numpy"
+    else:
+        fastpath.force_pure_python(True)
+        try:
+            yield "pure"
+        finally:
+            fastpath.force_pure_python(False)

@@ -1,0 +1,174 @@
+"""The golden-image suite: pinned workloads against checked-in digests.
+
+Each workload builds a pack from a fixed seed, drives it through a slice of
+the system (mount -> write -> scavenge -> compact -> serve -> crash), and
+reports the pack's SHA-256 digest plus the simulated microseconds consumed.
+The expected values live in ``golden_digests.json`` next to this file; any
+change to a fast path, the timing model, the allocator, or the on-disk
+format that alters either number trips these tests.
+
+That is the point: the digests are a regression tripwire for *observational
+equivalence*.  A legitimate change to the simulation (a new timing charge, a
+format change) must regenerate them consciously:
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/equivalence/test_golden_images.py
+
+and the diff of golden_digests.json becomes part of the review.  Both numpy
+legs assert against the *same* pinned values -- the accelerated and pure
+branches may not disagree even in their last bit.
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.disk import CachedDrive, DiskDrive, DiskImage, FaultPlan, tiny_test_disk
+from repro.errors import PowerFailure, ReproError
+from repro.fs import FileSystem
+from repro.fs.compactor import compact
+from repro.fs.scavenger import scavenge
+from repro.net import PacketNetwork
+from repro.server import FileClient, FileServer
+from repro.words import random_bytes
+
+GOLDEN_PATH = Path(__file__).with_name("golden_digests.json")
+
+SEED = 1979
+
+
+def _fresh(cylinders=20, cached=False, fault_seed=None):
+    image = DiskImage(tiny_test_disk(cylinders=cylinders))
+    plan = FaultPlan(image, seed=fault_seed) if fault_seed is not None else None
+    drive = (CachedDrive if cached else DiskDrive)(image, fault_injector=plan)
+    return image, drive
+
+
+def _populate(fs, rng, files=10):
+    for i in range(files):
+        data = random_bytes(rng, rng.randrange(0, 2200))
+        fs.create_file(f"file{i:02}.dat").write_data(data)
+    for i in (2, 5):
+        fs.delete_file(f"file{i:02}.dat")
+    sub = fs.create_directory("Sub")
+    fs.create_file("nested.txt", directory=sub).write_data(b"nested data")
+    fs.sync()
+
+
+# -- the pinned workloads -----------------------------------------------------
+# Each returns {"digest": ..., "simulated_us": ...}; keep them deterministic:
+# every random draw flows from SEED, nothing reads the wall clock.
+
+
+def workload_format():
+    """Bare format: descriptor, root directory, boot page."""
+    image, drive = _fresh()
+    FileSystem.format(drive)
+    return {"digest": image.digest(), "simulated_us": drive.clock.now_us}
+
+
+def workload_mount_write():
+    """Format, populate with seeded files/deletes/subdir, remount, reread."""
+    image, drive = _fresh()
+    fs = FileSystem.format(drive)
+    _populate(fs, random.Random(SEED))
+    remounted = FileSystem.mount(drive)
+    total = sum(len(remounted.open_file(n).read_data())
+                for n in remounted.list_files() if n.endswith(".dat"))
+    return {"digest": image.digest(), "simulated_us": drive.clock.now_us,
+            "bytes_reread": total}
+
+
+def workload_scavenge():
+    """Populate then scavenge a healthy pack (the no-repairs sweep)."""
+    image, drive = _fresh()
+    fs = FileSystem.format(drive)
+    _populate(fs, random.Random(SEED))
+    report = scavenge(drive)
+    return {"digest": image.digest(), "simulated_us": drive.clock.now_us,
+            "files_swept": report.files_found}
+
+
+def workload_compact():
+    """Populate (with deletions, so there are gaps) then compact."""
+    image, drive = _fresh()
+    fs = FileSystem.format(drive)
+    _populate(fs, random.Random(SEED))
+    report = compact(drive)
+    return {"digest": image.digest(), "simulated_us": drive.clock.now_us,
+            "pages_moved": report.pages_moved}
+
+
+def workload_serve():
+    """Write and read files through the network file server."""
+    image, drive = _fresh(cached=True)
+    fs = FileSystem.format(drive)
+    network = PacketNetwork(clock=drive.clock)
+    network.attach("fileserver", queue_limit=4096)
+    server = FileServer(fs, network)
+    network.attach("ws")
+    client = FileClient(network, "ws", pump=server.poll)
+    rng = random.Random(SEED)
+    for i in range(4):
+        client.write_file(f"served{i}.bin", random_bytes(rng, 600 + 700 * i))
+    reread = sum(len(client.read_file(f"served{i}.bin")) for i in range(4))
+    return {"digest": image.digest(), "simulated_us": drive.clock.now_us,
+            "bytes_served": reread}
+
+
+def workload_crash_recover():
+    """Tear a write mid-workload, scavenge, remount: recovery is pinned too."""
+    image, drive = _fresh(fault_seed=SEED)
+    fs = FileSystem.format(drive)
+    _populate(fs, random.Random(SEED))
+    # tear_at_write counts absolutely; tear the 5th part-write of the
+    # in-flight file (mid-way through its page chain).
+    drive.fault_injector.tear_at_write(drive.fault_injector.writes_seen + 5)
+    try:
+        fs.create_file("victim.dat").write_data(random_bytes(random.Random(SEED + 1), 3000))
+    except (PowerFailure, ReproError):
+        pass
+    drive.fault_injector.revive()
+    scavenge(drive)
+    remounted = FileSystem.mount(drive)
+    survivors = sorted(n for n in remounted.list_files() if n.endswith(".dat"))
+    return {"digest": image.digest(), "simulated_us": drive.clock.now_us,
+            "survivors": survivors}
+
+
+WORKLOADS = {
+    "format": workload_format,
+    "mount_write": workload_mount_write,
+    "scavenge": workload_scavenge,
+    "compact": workload_compact,
+    "serve": workload_serve,
+    "crash_recover": workload_crash_recover,
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_golden(name, numpy_mode):
+    observed = WORKLOADS[name]()
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        goldens = json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+        goldens[name] = observed
+        GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden for {name!r} updated; commit golden_digests.json")
+    assert GOLDEN_PATH.exists(), (
+        "golden_digests.json missing; regenerate with REPRO_UPDATE_GOLDENS=1")
+    golden = json.loads(GOLDEN_PATH.read_text())[name]
+    assert observed == golden, (
+        f"workload {name!r} diverged from its golden record.\n"
+        f"  expected: {golden}\n"
+        f"  observed: {observed}\n"
+        "If this change to the simulation is intentional, regenerate with "
+        "REPRO_UPDATE_GOLDENS=1 and review the golden diff.")
+
+
+def test_workloads_are_deterministic(numpy_mode):
+    """Two runs of one workload agree with each other (pre-golden sanity)."""
+    first = workload_mount_write()
+    second = workload_mount_write()
+    assert first == second

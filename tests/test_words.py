@@ -86,6 +86,25 @@ class TestBytePacking:
         with pytest.raises(ValueError):
             words_to_bytes([0x4142], nbytes=3)
 
+    def test_negative_nbytes_rejected_up_front(self):
+        # -1 is the "no truncation" sentinel; anything else negative is an
+        # error, reported before any byte is packed.
+        with pytest.raises(ValueError, match="nbytes must be -1"):
+            words_to_bytes([0x4142, 0x4344], nbytes=-2)
+        with pytest.raises(ValueError, match="got -100"):
+            words_to_bytes([0x4142], nbytes=-100)
+
+    def test_overflow_nbytes_error_names_the_shortfall(self):
+        with pytest.raises(ValueError, match="asked for 5 bytes from 4 available"):
+            words_to_bytes([0x4142, 0x4344], nbytes=5)
+        # Boundary: exactly 2 * len(words) is fine, one more is not.
+        assert words_to_bytes([0x4142, 0x4344], nbytes=4) == b"ABCD"
+        with pytest.raises(ValueError):
+            words_to_bytes([], nbytes=1)
+
+    def test_nbytes_zero_is_valid(self):
+        assert words_to_bytes([0x4142], nbytes=0) == b""
+
     @given(st.binary(max_size=600))
     def test_round_trip_property(self, data):
         assert words_to_bytes(bytes_to_words(data), nbytes=len(data)) == data
