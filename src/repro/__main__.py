@@ -77,38 +77,86 @@ def stats_cmd(argv) -> int:
                         help=";-separated Executive commands to run first")
     parser.add_argument("--cached", action="store_true",
                         help="run on the write-back CachedDrive")
+    parser.add_argument("--serve", type=int, default=None, metavar="CLIENTS",
+                        help="run a served workload with this many workstations "
+                             "instead of the Executive session, so the snapshot "
+                             "carries server.request_us and friends")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="with --serve: front an N-shard cluster (snapshot "
+                             "is the cluster-wide merged registry view)")
     parser.add_argument("--json", action="store_true",
                         help="print the snapshot as JSON instead of a table")
     parser.add_argument("--trace", metavar="PATH",
                         help="also record spans and write a Chrome trace JSON")
     args = parser.parse_args(argv)
+    if args.shards is not None and args.serve is None:
+        parser.error("--shards requires --serve")
 
-    image = DiskImage(diablo31())
-    drive = CachedDrive(image) if args.cached else DiskDrive(image)
-    if args.trace:
-        drive.clock.obs.enable_tracing()
-    os = AltoOS.format(drive)
-    build_demo(os)
-    script = "\n".join(part.strip() for part in args.script.split(";")) + "\nquit\n"
-    os.run_executive(script)
+    drive = None
+    if args.serve is not None:
+        from .server.loadgen import LoadGenerator, build_cluster, build_system
 
-    stats = drive.clock.obs.stats()
+        if args.shards is not None:
+            system = build_cluster(args.serve, shards=args.shards)
+        else:
+            system = build_system(args.serve)
+        if args.trace:
+            system.clock.obs.enable_tracing()
+        LoadGenerator(system).run()
+        # ClusterSystem.stats() merges the router and every shard machine;
+        # histogram bucket counts sum across machines, so the quantile
+        # lines below are true cluster-wide percentiles.
+        stats = system.stats()
+    else:
+        image = DiskImage(diablo31())
+        drive = CachedDrive(image) if args.cached else DiskDrive(image)
+        if args.trace:
+            drive.clock.obs.enable_tracing()
+        os = AltoOS.format(drive)
+        build_demo(os)
+        script = "\n".join(part.strip() for part in args.script.split(";")) + "\nquit\n"
+        os.run_executive(script)
+        stats = drive.clock.obs.stats()
+
     if args.json:
         print(_json.dumps(stats, indent=1, sort_keys=True))
     else:
-        width = max(len(name) for name in stats)
+        from .obs import QUANTILES, format_quantile, snapshot_histogram_names, \
+            snapshot_quantiles
+
+        table = {name: value for name, value in stats.items()
+                 if ".bucket." not in name}
+        width = max(len(name) for name in table)
         group = None
-        for name in sorted(stats):
+        for name in sorted(table):
             prefix = name.split(".", 1)[0]
             if prefix != group:
                 if group is not None:
                     print()
                 group = prefix
-            value = stats[name]
+            value = table[name]
             shown = f"{value:.3f}" if isinstance(value, float) else str(value)
             print(f"  {name:<{width}}  {shown}")
-    if args.trace:
+        hist_names = snapshot_histogram_names(stats)
+        if hist_names:
+            print()
+            print("  -- quantiles (log-bucket estimates, simulated us) --")
+            for name in hist_names:
+                quantiles = snapshot_quantiles(stats, name)
+                cells = "  ".join(
+                    f"{format_quantile(q)} {quantiles[format_quantile(q)]:.0f}"
+                    for q in QUANTILES)
+                print(f"  {name:<{width}}  {cells}")
+    if args.trace and drive is not None:
         _write_repl_trace(args.trace, drive)
+    elif args.trace:
+        from .obs import write_trace
+
+        trace = write_trace(args.trace, [("cluster", system.clock.obs.tracer)],
+                            stats=stats, stitch=True,
+                            strip_prefixes=("fileserver.",))
+        spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+        print(f"[trace written to {args.trace}: {spans} spans]")
     return 0
 
 
@@ -295,15 +343,71 @@ def serve_cmd(argv) -> int:
         if args.shards is not None:
             from .obs import write_trace
 
+            # One process lane per simulated machine -- router front (with
+            # per-client tracks) plus every shard -- stitched into causal
+            # per-request traces by trace_id flow events.  The router
+            # addresses clients through fileserver.<client> proxy hosts;
+            # stripping the prefix folds both views of a request into one
+            # trace id.
             tracers = [("router", trace_system.clock.obs.tracer)]
             tracers += [(shard.host, shard.clock.obs.tracer)
                         for shard in trace_system.shards]
             trace = write_trace(args.trace, tracers,
-                                stats=trace_system.stats())
+                                stats=trace_system.stats(), stitch=True,
+                                strip_prefixes=("fileserver.",))
             spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
-            print(f"[trace written to {args.trace}: {spans} spans]")
+            flows = sum(1 for e in trace["traceEvents"]
+                        if e.get("ph") in ("s", "t", "f"))
+            print(f"[trace written to {args.trace}: {spans} spans, "
+                  f"{flows} flow steps]")
         else:
             _write_repl_trace(args.trace, trace_system.fs.drive)
+    return 0
+
+
+def top_cmd(argv) -> int:
+    """The ``top`` subcommand: live latency dashboard over a serve run."""
+    from .obs.top import TopDashboard
+    from .server.loadgen import LoadGenerator, build_cluster, build_system
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Live text dashboard: request latency quantiles and "
+                    "server counters, refreshed while a loadgen run is in "
+                    "flight",
+    )
+    parser.add_argument("--clients", type=int, default=8,
+                        help="simulated workstations (default 8)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="drive an N-shard cluster instead of one server")
+    parser.add_argument("--seed", type=int, default=1979,
+                        help="seed for every client's workload data")
+    parser.add_argument("--read-rounds", type=int, default=2,
+                        help="times each client reads its file back")
+    parser.add_argument("--interval", type=int, default=25, metavar="REQS",
+                        help="completed requests between refreshes (default 25)")
+    parser.add_argument("--once", action="store_true",
+                        help="non-interactive: render exactly one frame at the "
+                             "end of the run (the CI smoke mode)")
+    args = parser.parse_args(argv)
+
+    if args.shards is not None:
+        system = build_cluster(args.clients, shards=args.shards, seed=args.seed)
+        title = f"repro top -- {args.shards}-shard cluster, {args.clients} clients"
+    else:
+        system = build_system(args.clients, seed=args.seed)
+        title = f"repro top -- 1 server, {args.clients} clients"
+    dashboard = TopDashboard(system.stats, interval=args.interval,
+                             live=not args.once and sys.stdout.isatty(),
+                             title=title)
+    generator = LoadGenerator(system, seed=args.seed,
+                              read_rounds=args.read_rounds)
+    result = generator.run(progress=None if args.once else dashboard.tick)
+    dashboard.refresh()
+    print(f"run complete: {result.requests} requests in "
+          f"{result.elapsed_s:.3f} simulated seconds "
+          f"({result.requests_per_sec:.1f} req/s), "
+          f"p99 {result.p99_hist_ms:.2f}ms")
     return 0
 
 
@@ -316,6 +420,8 @@ def main(argv=None) -> int:
         return serve_cmd(argv[1:])
     if argv and argv[0] == "stats":
         return stats_cmd(argv[1:])
+    if argv and argv[0] == "top":
+        return top_cmd(argv[1:])
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
 

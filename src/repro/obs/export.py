@@ -29,6 +29,9 @@ def tracer_events(tracer: Tracer, pid: int = 0, label: str = "sim") -> List[Dict
         {"name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
          "args": {"name": "simulated time"}},
     ]
+    for tid, name in sorted(tracer.track_names().items()):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": name}})
     ordered = sorted(tracer.events, key=lambda e: (e.start_us, -e.end_us, e.id))
     for event in ordered:
         args: Dict = {"span_id": event.id}
@@ -44,9 +47,22 @@ def tracer_events(tracer: Tracer, pid: int = 0, label: str = "sim") -> List[Dict
                 "ts": event.start_us,
                 "s": "t",
                 "pid": pid,
-                "tid": 0,
+                "tid": event.track,
                 "args": args,
             })
+        elif event.kind == "async":
+            # Overlapping intervals (several requests waiting in one queue)
+            # become Chrome async begin/end pairs: they share a lane without
+            # claiming the nesting that complete events do.
+            common = {
+                "name": event.name,
+                "cat": event.category or "repro",
+                "id": event.id,
+                "pid": pid,
+                "tid": event.track,
+            }
+            events.append(dict(common, ph="b", ts=event.start_us, args=args))
+            events.append(dict(common, ph="e", ts=event.end_us, args={}))
         else:
             events.append({
                 "name": event.name,
@@ -55,7 +71,7 @@ def tracer_events(tracer: Tracer, pid: int = 0, label: str = "sim") -> List[Dict
                 "ts": event.start_us,
                 "dur": event.duration_us,
                 "pid": pid,
-                "tid": 0,
+                "tid": event.track,
                 "args": args,
             })
     return events
@@ -94,10 +110,83 @@ def chrome_trace(tracers: TracerSpec,
     return trace
 
 
-def write_trace(path: str, tracers: TracerSpec,
-                stats: Optional[Dict] = None) -> Dict:
-    """Serialise :func:`chrome_trace` to ``path``; returns the trace dict."""
+def _strip(name: str, prefixes: Iterable[str]) -> str:
+    for prefix in prefixes:
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return name
+
+
+def stitch_trace(tracers: TracerSpec, stats: Optional[Dict] = None,
+                 strip_prefixes: Iterable[str] = ()) -> Dict:
+    """Multi-clock trace with per-request causal stitching via flow events.
+
+    Builds :func:`chrome_trace` over several tracers (client clocks, the
+    router front clock, each shard clock -- one process lane apiece), then
+    walks every exported event for a ``trace_id`` annotation (the
+    ``"<client>#<rid>"`` correlation key the server layer stamps on its
+    spans) and binds each request's spans across lanes with Chrome flow
+    events (``ph`` ``s``/``t``/``f``): the viewer draws arrows from the
+    client's send through the router hop to the shard's service span and
+    back.
+
+    ``strip_prefixes`` normalises host aliases before grouping: the router
+    addresses each client through a proxy host (``fileserver.alice``), so
+    shard-side spans record ``fileserver.alice#12`` where the client's own
+    span says ``alice#12``.  Stripping the ``fileserver.`` prefix makes
+    them one trace (the rewritten ``trace_id`` is also what lands in the
+    file, so the args pane shows one consistent key).
+    """
+    prefixes = tuple(strip_prefixes)
     trace = chrome_trace(tracers, stats=stats)
+    groups: Dict[str, List[Dict]] = {}
+    for event in trace["traceEvents"]:
+        if event["ph"] not in ("X", "b"):
+            continue
+        args = event.get("args") or {}
+        trace_id = args.get("trace_id")
+        if not isinstance(trace_id, str):
+            continue
+        if prefixes:
+            host, sep, rid = trace_id.partition("#")
+            trace_id = args["trace_id"] = _strip(host, prefixes) + sep + rid
+        groups.setdefault(trace_id, []).append(event)
+
+    flows: List[Dict] = []
+    for flow_id, trace_id in enumerate(sorted(groups), start=1):
+        hops = sorted(groups[trace_id], key=lambda e: (e["ts"], e["pid"]))
+        if len(hops) < 2:
+            continue
+        for step, event in enumerate(hops):
+            phase = "s" if step == 0 else ("f" if step == len(hops) - 1 else "t")
+            flow = {
+                "name": trace_id,
+                "cat": "request",
+                "ph": phase,
+                "id": flow_id,
+                "ts": event["ts"],
+                "pid": event["pid"],
+                "tid": event["tid"],
+            }
+            if phase == "f":
+                flow["bp"] = "e"  # bind to the enclosing slice, not the next
+            flows.append(flow)
+    trace["traceEvents"].extend(flows)
+    return trace
+
+
+def write_trace(path: str, tracers: TracerSpec,
+                stats: Optional[Dict] = None, stitch: bool = False,
+                strip_prefixes: Iterable[str] = ()) -> Dict:
+    """Serialise :func:`chrome_trace` to ``path``; returns the trace dict.
+
+    With ``stitch=True`` the file carries :func:`stitch_trace`'s flow
+    events (and ``strip_prefixes`` host normalisation) as well.
+    """
+    if stitch:
+        trace = stitch_trace(tracers, stats=stats, strip_prefixes=strip_prefixes)
+    else:
+        trace = chrome_trace(tracers, stats=stats)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle, indent=1, sort_keys=True)
         handle.write("\n")

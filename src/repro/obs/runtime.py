@@ -126,17 +126,27 @@ def trace_all_enabled() -> bool:
     return _trace_all
 
 
-def collect_trace(stats: Optional[Dict] = None) -> Dict:
-    """Merge every tracer that recorded anything into one Chrome trace."""
-    from .export import chrome_trace
+def collect_trace(stats: Optional[Dict] = None,
+                  labels: Optional[Dict[int, str]] = None,
+                  strip_prefixes: Iterable[str] = ()) -> Dict:
+    """Merge every tracer that recorded anything into one stitched trace.
+
+    ``labels`` renames process lanes by their creation index (``{0:
+    "client alice"}``); unnamed lanes keep ``clock-<index>``.  Request
+    spans annotated with ``trace_id`` are bound across lanes by flow
+    events (see :func:`repro.obs.export.stitch_trace`); traces with no
+    such annotations come out exactly as before.
+    """
+    from .export import stitch_trace
 
     pairs: List[Tuple[str, Tracer]] = []
     for index, obs in enumerate(_traced):
         if obs.tracer.events:
-            pairs.append((f"clock-{index}", obs.tracer))
+            label = labels.get(index) if labels else None
+            pairs.append((label or f"clock-{index}", obs.tracer))
     if stats is None:
         stats = merge_stats(obs.stats() for obs in _traced)
-    return chrome_trace(pairs, stats=stats)
+    return stitch_trace(pairs, stats=stats, strip_prefixes=strip_prefixes)
 
 
 # -- stats retention (bench harness) ------------------------------------------

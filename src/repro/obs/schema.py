@@ -8,8 +8,12 @@ schema uses -- ``type``, ``properties``, ``required``, ``items``,
 table for this repo.
 
 Beyond the schema, :func:`validate_trace` checks what a schema cannot:
-that complete events carry ``ts``/``dur`` and that spans on each process
-row nest properly (every child inside its parent, siblings disjoint).
+that complete events carry ``ts``/``dur`` and that spans on each thread
+lane (``pid``, ``tid``) nest properly (every child inside its parent,
+siblings disjoint); that async intervals (``b``/``e``) and flow steps
+(``s``/``t``/``f``) carry an ``id``; and that every async begin has a
+matching end at or after it.  Async and flow events are exempt from the
+nesting checks -- overlapping queue waits are exactly why they exist.
 """
 
 from __future__ import annotations
@@ -84,18 +88,45 @@ def validate_trace(trace: Dict, schema: Optional[Dict] = None) -> List[str]:
     if errors:
         return errors
 
-    # Structural checks per process row: complete events must carry ts/dur,
+    # Structural checks per thread lane: complete events must carry ts/dur,
     # children must sit inside their parents, siblings must not overlap.
-    by_pid: Dict[int, List[Dict]] = {}
+    # Async intervals and flow steps live outside the nesting discipline but
+    # must carry correlation ids (and async begins need matching ends).
+    by_lane: Dict[tuple, List[Dict]] = {}
+    async_open: Dict[tuple, List[float]] = {}
     for index, event in enumerate(trace.get("traceEvents", [])):
-        if event.get("ph") != "X":
+        ph = event.get("ph")
+        if ph in ("b", "e", "s", "t", "f"):
+            if "id" not in event:
+                errors.append(f"traceEvents[{index}]: {ph!r} event missing id")
+                continue
+            if ph in ("b", "e"):
+                key = (event["pid"], event.get("cat"), event["name"], event["id"])
+                if ph == "b":
+                    async_open.setdefault(key, []).append(event.get("ts", 0))
+                else:
+                    starts = async_open.get(key)
+                    if not starts:
+                        errors.append(
+                            f"traceEvents[{index}]: async end without begin "
+                            f"for id {event['id']}")
+                    elif event.get("ts", 0) < starts.pop():
+                        errors.append(
+                            f"traceEvents[{index}]: async end before its "
+                            f"begin for id {event['id']}")
+            continue
+        if ph != "X":
             continue
         if "ts" not in event or "dur" not in event:
             errors.append(f"traceEvents[{index}]: complete event missing ts/dur")
             continue
-        by_pid.setdefault(event["pid"], []).append(event)
+        by_lane.setdefault((event["pid"], event.get("tid", 0)), []).append(event)
+    for key, starts in async_open.items():
+        if starts:
+            errors.append(f"async begin without end for id {key[3]} "
+                          f"(pid {key[0]}, name {key[2]!r})")
 
-    for pid, events in by_pid.items():
+    for (pid, tid), events in by_lane.items():
         spans = {}
         for event in events:
             span_id = event.get("args", {}).get("span_id")

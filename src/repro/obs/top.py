@@ -1,0 +1,152 @@
+"""``python -m repro top`` -- a live text dashboard over the stats snapshot.
+
+The renderer is a pure function from a flat (possibly cluster-merged)
+metrics snapshot to a block of text: a header with elapsed simulated time
+and throughput, one latency row per histogram (count, mean, and the
+p50/p90/p99/p99.9 estimates out of the log buckets), and the counters
+that explain a slow run (rejections, retries, flushes, queue depth).
+``python -m repro top`` redraws it while a loadgen run is in flight --
+the same numbers ``python -m repro stats`` prints once at the end, but
+watchable, which is the paper's "open machine" applied to telemetry.
+
+Everything here only *reads* snapshots; rendering can never perturb the
+run it watches (the off-switch guarantee does not even apply -- there is
+nothing to switch).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from .metrics import (
+    QUANTILES,
+    format_quantile,
+    snapshot_histogram_names,
+    snapshot_quantiles,
+)
+
+#: Histograms shown first, in this order, when present in the snapshot.
+HEADLINE_HISTOGRAMS = (
+    "server.request_us",
+    "server.queue_us",
+    "server.service_us",
+    "router.hop_us",
+    "loadgen.request_us",
+)
+
+#: Counters worth a line of their own when non-zero.
+HEADLINE_COUNTERS = (
+    "server.requests",
+    "server.rejected",
+    "server.flushes",
+    "server.client.retries",
+    "server.client.busy_retries",
+    "router.forwarded",
+    "router.rejected",
+    "router.replayed",
+    "router.rewrites",
+    "router.scatters",
+)
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_us(us: float) -> str:
+    """Microseconds, humanised: ``850us``, ``12.3ms``, ``4.56s``."""
+    if us >= 1_000_000:
+        return f"{us / 1_000_000:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1_000:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def render_top(stats: Dict, title: str = "repro top",
+               extra: Optional[Iterable[str]] = None) -> str:
+    """The dashboard for one snapshot, as a single printable string."""
+    lines: List[str] = []
+    now_us = int(stats.get("clock.now_us", 0))
+    requests = int(stats.get("server.requests", 0))
+    elapsed_s = now_us / 1_000_000.0
+    rps = requests / elapsed_s if elapsed_s else 0.0
+    lines.append(f"{title} -- simulated {elapsed_s:9.3f}s   "
+                 f"{requests} requests   {rps:8.1f} req/s")
+    lines.append("")
+
+    names = snapshot_histogram_names(stats)
+    ordered = [n for n in HEADLINE_HISTOGRAMS if n in names]
+    ordered += [n for n in names if n not in HEADLINE_HISTOGRAMS]
+    if ordered:
+        header = (f"  {'latency':<22} {'count':>8} {'mean':>9} "
+                  + " ".join(f"{format_quantile(q):>9}" for q in QUANTILES))
+        lines.append(header)
+        for name in ordered:
+            count = int(stats.get(f"{name}.count", 0))
+            total = stats.get(f"{name}.total", 0)
+            mean = total / count if count else 0.0
+            quantiles = snapshot_quantiles(stats, name)
+            # Only *_us histograms hold microseconds; the rest (drain
+            # sizes, fan-outs) print as plain numbers.
+            fmt = _fmt_us if name.endswith("_us") else (lambda v: f"{v:g}")
+            cells = " ".join(f"{fmt(quantiles[format_quantile(q)]):>9}"
+                             for q in QUANTILES)
+            lines.append(f"  {name:<22} {count:>8} {fmt(mean):>9} {cells}")
+        lines.append("")
+
+    counters = [(name, int(stats.get(name, 0))) for name in HEADLINE_COUNTERS
+                if stats.get(name)]
+    if counters:
+        row: List[str] = []
+        for name, value in counters:
+            row.append(f"{name.split('.', 1)[1]}={value}")
+            if len(row) == 4:
+                lines.append("  " + "  ".join(f"{cell:<22}" for cell in row))
+                row = []
+        if row:
+            lines.append("  " + "  ".join(f"{cell:<22}" for cell in row))
+    depth = stats.get("server.queue.depth.high_water")
+    pending = stats.get("router.pending.high_water")
+    tail: List[str] = []
+    if depth is not None:
+        tail.append(f"queue depth high-water {int(depth)}")
+    if pending is not None:
+        tail.append(f"router in-flight high-water {int(pending)}")
+    if tail:
+        lines.append("  " + "   ".join(tail))
+    for line in extra or ():
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+class TopDashboard:
+    """Periodic redraw driver: call :meth:`tick` from a progress callback.
+
+    ``interval`` is in completed requests; ``live=False`` (the CI smoke
+    mode) suppresses the ANSI clear so frames append instead of repaint.
+    """
+
+    def __init__(self, snapshot, interval: int = 50, live: bool = True,
+                 title: str = "repro top", out: Optional[TextIO] = None) -> None:
+        self.snapshot = snapshot        #: zero-arg callable -> flat stats
+        self.interval = max(1, interval)
+        self.live = live
+        self.title = title
+        self.out = out if out is not None else sys.stdout
+        self.frames = 0
+        self._last_count = 0
+
+    def tick(self, completed: int) -> None:
+        """Maybe redraw: called with the running completed-request count."""
+        if completed - self._last_count < self.interval:
+            return
+        self._last_count = completed
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Unconditionally render one frame."""
+        frame = render_top(self.snapshot(), title=self.title)
+        if self.live:
+            self.out.write(_CLEAR)
+        self.out.write(frame)
+        self.out.flush()
+        self.frames += 1

@@ -41,14 +41,23 @@ NULL_SPAN = _NullSpan()
 
 
 class SpanEvent:
-    """One finished span (or instant) as it sits in the ring buffer."""
+    """One finished span (or instant) as it sits in the ring buffer.
+
+    ``kind`` is ``"span"`` (a complete event), ``"instant"`` (a marker), or
+    ``"async"`` (an interval that may overlap its neighbours -- e.g. several
+    requests waiting in the same queue -- exported as a Chrome ``b``/``e``
+    pair instead of a nested complete event).  ``track`` selects the thread
+    lane the event renders on: 0 is the clock's main lane, higher numbers
+    come from :meth:`Tracer.track`.
+    """
 
     __slots__ = ("id", "parent_id", "name", "category", "start_us", "end_us",
-                 "depth", "args", "kind")
+                 "depth", "args", "kind", "track")
 
     def __init__(self, id: int, parent_id: int, name: str, category: str,
                  start_us: int, end_us: int, depth: int,
-                 args: Optional[Dict] = None, kind: str = "span") -> None:
+                 args: Optional[Dict] = None, kind: str = "span",
+                 track: int = 0) -> None:
         self.id = id
         self.parent_id = parent_id
         self.name = name
@@ -58,6 +67,7 @@ class SpanEvent:
         self.depth = depth
         self.args = args
         self.kind = kind
+        self.track = track
 
     @property
     def duration_us(self) -> int:
@@ -113,6 +123,7 @@ class Tracer:
         self.dropped = 0
         self._stack: List[Span] = []
         self._next_id = 1
+        self._tracks: Dict[str, int] = {}
 
     # -- switches -------------------------------------------------------------
 
@@ -171,6 +182,52 @@ class Tracer:
             depth=span.depth,
             args=span.args,
         ))
+
+    def track(self, label: str) -> int:
+        """Intern *label* as a thread lane; returns its stable track number.
+
+        Track 0 is the clock's main lane ("simulated time"); interned
+        tracks start at 1 in first-use order, so per-client request lanes
+        ("client alice", "client bob") render as separate rows under the
+        same process in the trace viewer.
+        """
+        tid = self._tracks.get(label)
+        if tid is None:
+            tid = self._tracks[label] = len(self._tracks) + 1
+        return tid
+
+    def track_names(self) -> Dict[int, str]:
+        """``{tid: label}`` for every interned track (excludes lane 0)."""
+        return {tid: label for label, tid in self._tracks.items()}
+
+    def complete(self, name: str, start_us: int, end_us: int,
+                 category: str = "", track: int = 0, kind: str = "span",
+                 args: Optional[Dict] = None) -> None:
+        """Record an already-finished interval directly (no stack involved).
+
+        The retrospective twin of ``begin()``/``finish()``: code that only
+        learns an interval's start after the fact -- a client matching a
+        response to the request it sent polls ago -- records it here.
+        ``kind="async"`` marks intervals that may overlap others on the same
+        track (queue waits); the exporter emits those as ``b``/``e`` pairs.
+        """
+        if not self.enabled:
+            return
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(SpanEvent(
+            id=self._next_id,
+            parent_id=0,
+            name=name,
+            category=category,
+            start_us=start_us,
+            end_us=end_us,
+            depth=0,
+            args=args,
+            kind=kind,
+            track=track,
+        ))
+        self._next_id += 1
 
     def instant(self, name: str, category: str = "", **args) -> None:
         """Record a zero-duration marker (a Chrome-trace instant event)."""

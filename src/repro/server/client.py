@@ -121,7 +121,8 @@ class FileClient:
         self.read_batch_pages = min(read_batch_pages, MAX_BATCH_PAGES)
         self.assembler = FrameAssembler()
         self._next_id = 1
-        registry = self.clock.obs.registry
+        self.obs = self.clock.obs
+        registry = self.obs.registry
         self._c_requests = registry.counter("server.client.requests")
         self._c_retries = registry.counter("server.client.retries")
         self._c_busy = registry.counter("server.client.busy_retries")
@@ -184,6 +185,25 @@ class FileClient:
                 self._c_busy.inc()
                 self._schedule_resend(pending, now)
                 return None
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                # The whole client-visible request, first send to matched
+                # response, on this station's own track of the shared
+                # network clock's lane.  Every client station records its
+                # requests under one trace_id key the router and shard
+                # spans share, which is what stitches the lanes together.
+                request = pending.request
+                tracer.complete(
+                    f"client.{request.op_name.lower()}",
+                    pending.first_sent_us, now,
+                    category="client",
+                    track=tracer.track(f"client {self.host}"),
+                    args={"trace_id": f"{self.host}#{request.request_id}",
+                          "rid": request.request_id,
+                          "client": self.host,
+                          "attempts": pending.attempts,
+                          "status": ST_NAMES.get(response.status,
+                                                 str(response.status))})
             return response
         if pending.resend_at_us is not None:
             if now >= pending.resend_at_us:

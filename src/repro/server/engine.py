@@ -123,7 +123,12 @@ class FileServer:
         self._c_pages_written = registry.counter("server.pages_written")
         self._c_sessions = registry.counter("server.sessions")
         self._g_depth = registry.gauge("server.queue.depth")
+        # The latency decomposition: request = queue wait + service, all in
+        # simulated microseconds, observed at the same clock read so the
+        # identity holds exactly per request.
         self._h_request_us = registry.histogram("server.request_us")
+        self._h_queue_us = registry.histogram("server.queue_us")
+        self._h_service_us = registry.histogram("server.service_us")
 
     # ------------------------------------------------------------------------
     # The event loop
@@ -208,9 +213,20 @@ class FileServer:
             for packet in cached:
                 self.network.send(packet)
             return False
+        start_us = self.clock.now_us
+        trace_id = f"{client}#{request.request_id}"
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            # The time this request sat admitted-but-unserviced.  Queue
+            # waits overlap (every queued request waits at once), so they
+            # are async intervals, not nested spans.
+            tracer.complete("server.queue", admitted_us, start_us,
+                            category="server", kind="async",
+                            args={"trace_id": trace_id, "client": client})
         self.clock.advance_us(SERVICE_CPU_US, "server.cpu")
         with self.obs.span("server.request", "server", op=request.op_name,
-                           client=client) as span:
+                           client=client, rid=request.request_id,
+                           trace_id=trace_id) as span:
             wrote = False
             try:
                 response, wrote = self._dispatch(session, request)
@@ -222,9 +238,12 @@ class FileServer:
                 span.annotate(status=ST_NAMES[response.status])
             self._c_requests.inc()
             session.requests_served += 1
-            self._h_request_us.observe(self.clock.now_us - admitted_us)
             packets = self._respond(client, response)
             session.remember(request.request_id, packets)
+            end_us = self.clock.now_us
+            self._h_queue_us.observe(start_us - admitted_us)
+            self._h_service_us.observe(end_us - start_us)
+            self._h_request_us.observe(end_us - admitted_us)
             return wrote
 
     def _respond(self, client: str, response: Response) -> List[Packet]:

@@ -21,9 +21,10 @@ snapshots (``tests/server/test_determinism.py`` proves it).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..disk.cache import CachedDrive
 from ..disk.drive import DiskDrive
@@ -31,6 +32,7 @@ from ..disk.geometry import diablo31, tiny_test_disk
 from ..disk.image import DiskImage
 from ..fs.filesystem import FileSystem
 from ..net.network import PacketNetwork
+from ..obs.metrics import SUB_BUCKET_BITS
 from ..words import random_bytes
 from .client import FileClient, PendingRequest
 from .engine import FileServer
@@ -200,11 +202,36 @@ class LoadResult:
     errors: int
     bytes_written: int
     bytes_read: int
+    #: The same percentiles re-derived from the ``loadgen.request_us``
+    #: registry histogram -- reported alongside the raw-list values so a
+    #: silent divergence between the two latency paths cannot hide.
+    p50_hist_ms: float = 0.0
+    p99_hist_ms: float = 0.0
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
     def to_json(self) -> dict:
         out = {k: v for k, v in self.__dict__.items() if k != "latencies_ms"}
         return out
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop (offered-load) run; times simulated."""
+
+    offered_rps: float      #: the arrival rate the schedule was drawn at
+    duration_s: float       #: length of the offered window
+    offered: int            #: arrivals scheduled in the window
+    completed: int          #: requests that got a response
+    errors: int
+    elapsed_s: float        #: simulated time to drain everything
+    achieved_rps: float     #: completed / elapsed -- caps at capacity
+    p50_ms: float           #: latency from *scheduled* arrival, raw list
+    p99_ms: float
+    p50_hist_ms: float      #: same, from the loadgen.request_us histogram
+    p99_hist_ms: float
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
@@ -213,6 +240,27 @@ def percentile(sorted_values: List[float], fraction: float) -> float:
         return 0.0
     index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
     return sorted_values[index]
+
+
+def check_quantile_agreement(sorted_us: List[int], hist, fraction: float) -> float:
+    """Cross-check the histogram's quantile against the raw sample list.
+
+    Returns the histogram estimate after asserting it brackets the true
+    ceil-rank sample within the log-bucket relative-error bound (the
+    :data:`~repro.obs.metrics.SUB_BUCKET_BITS` contract).  Loadgen keeps
+    both latency paths -- raw list and registry histogram -- and this is
+    what stops them drifting apart silently.
+    """
+    estimate = hist.quantile(fraction)
+    if not sorted_us:
+        assert estimate == 0.0
+        return estimate
+    rank = min(len(sorted_us), max(1, math.ceil(fraction * len(sorted_us))))
+    true_value = sorted_us[rank - 1]
+    assert true_value <= estimate <= true_value * (1 + 2 ** -SUB_BUCKET_BITS), (
+        f"histogram q{fraction} = {estimate} does not bracket "
+        f"rank-{rank} sample {true_value}")
+    return estimate
 
 
 def client_script(client: FileClient, name: str, data: bytes,
@@ -266,6 +314,11 @@ class LoadGenerator:
         self.file_bytes = file_bytes
         self.read_rounds = read_rounds
         self.with_list = with_list
+        #: Client-observed latency, also kept as a registry histogram so
+        #: the list-based percentiles and the bucketed quantiles report
+        #: side by side (and are cross-checked in :meth:`_result`).
+        self._h_latency = system.clock.obs.registry.histogram(
+            "loadgen.request_us")
 
     def _scripts(self):
         rng = random.Random(self.seed)
@@ -285,6 +338,15 @@ class LoadGenerator:
         stats = self.system.stats()
         latencies_ms = sorted(us / 1000.0 for us in latencies_us)
         elapsed_s = elapsed_us / 1_000_000.0
+        sorted_us = sorted(latencies_us)
+        if self._h_latency.count == len(sorted_us):
+            # A fresh run: the histogram holds exactly these samples, so
+            # its quantiles must bracket the true nearest-rank values.
+            p50_hist = check_quantile_agreement(sorted_us, self._h_latency, 0.50)
+            p99_hist = check_quantile_agreement(sorted_us, self._h_latency, 0.99)
+        else:
+            p50_hist = self._h_latency.quantile(0.50)
+            p99_hist = self._h_latency.quantile(0.99)
         return LoadResult(
             mode=mode,
             clients=len(self.system.clients),
@@ -300,11 +362,19 @@ class LoadGenerator:
             errors=errors,
             bytes_written=bytes_written,
             bytes_read=int(stats.get("server.pages_read", 0)) * 512,
+            p50_hist_ms=round(p50_hist / 1000.0, 3),
+            p99_hist_ms=round(p99_hist / 1000.0, 3),
             latencies_ms=latencies_ms,
         )
 
-    def run(self) -> LoadResult:
-        """Concurrent mode: all clients in flight, one poll per round."""
+    def run(self, progress: Optional[Callable[[int], None]] = None) -> LoadResult:
+        """Concurrent mode: all clients in flight, one poll per round.
+
+        *progress*, when given, is called with the running completed-request
+        count after every round that completed at least one request -- the
+        hook ``python -m repro top`` uses to refresh its dashboard while
+        the run is in flight.
+        """
         system = self.system
         scripts = self._scripts()
         started_us = system.clock.now_us
@@ -334,13 +404,17 @@ class LoadGenerator:
                     continue
                 progressed = True
                 del pendings[client]
-                latencies.append(system.clock.now_us - pending.first_sent_us)
+                latency_us = system.clock.now_us - pending.first_sent_us
+                latencies.append(latency_us)
+                self._h_latency.observe(latency_us)
                 requests += 1
                 if response.status != ST_OK:
                     errors += 1
                 responses[client] = response
             if progressed:
                 stalls = 0
+                if progress is not None:
+                    progress(requests)
             else:
                 stalls += 1
                 if stalls > STALL_LIMIT:
@@ -349,6 +423,126 @@ class LoadGenerator:
                 system.clock.advance_us(1_000, "server.client.wait")
         return self._result("concurrent", requests, errors, latencies,
                             system.clock.now_us - started_us, bytes_written)
+
+    def run_open_loop(self, rate_rps: float, duration_s: float,
+                      progress: Optional[Callable[[int], None]] = None
+                      ) -> "OpenLoopResult":
+        """Open-loop mode: Poisson arrivals at *rate_rps*, independent of
+        completions, for *duration_s* simulated seconds of offered load.
+
+        The closed-loop modes cannot see saturation: each client waits for
+        its response before issuing again, so offered load falls exactly
+        as the server slows (coordinated omission).  Here the arrival
+        schedule is drawn up front from a seeded exponential process and
+        **latency is measured from the scheduled arrival time** -- if a
+        station is still busy when its next request falls due, the time
+        the request spends waiting to even be sent counts.  Past the
+        capacity knee that backlog grows without bound and p99 explodes,
+        which is precisely the curve benchmark E15 pins.
+
+        Arrivals round-robin over the stations; each is a 1-page READ of a
+        small per-station file uploaded (closed-loop) before the measured
+        window opens.
+        """
+        system = self.system
+        stations = system.clients
+        rng = random.Random(self.seed)
+
+        # Setup phase, unmeasured: each station uploads one small file and
+        # re-opens it, so the measured window is pure READ traffic.
+        handles: Dict[FileClient, int] = {}
+        for index, client in enumerate(stations):
+            client.pump = system.server.poll
+            name = f"open{index:03d}.dat"
+            client.write_file(name, random_bytes(rng, 256))
+            handle, _ = client.open(name)
+            handles[client] = handle
+            client.pump = None
+
+        # The offered schedule: exponential gaps, one station per arrival.
+        started_us = system.clock.now_us
+        horizon_us = started_us + int(duration_s * 1_000_000)
+        arrivals: List[int] = []
+        at_us = float(started_us)
+        while True:
+            at_us += rng.expovariate(rate_rps) * 1_000_000
+            if at_us >= horizon_us:
+                break
+            arrivals.append(int(at_us))
+
+        backlog: Dict[FileClient, List[int]] = {c: [] for c in stations}
+        pendings: Dict[FileClient, "tuple[PendingRequest, int]"] = {}
+        latencies: List[int] = []
+        next_arrival = 0
+        completed = errors = 0
+        stalls = 0
+        while next_arrival < len(arrivals) or pendings \
+                or any(backlog.values()):
+            now = system.clock.now_us
+            while next_arrival < len(arrivals) and arrivals[next_arrival] <= now:
+                station = stations[next_arrival % len(stations)]
+                backlog[station].append(arrivals[next_arrival])
+                next_arrival += 1
+            for station in stations:
+                if station in pendings or not backlog[station]:
+                    continue
+                scheduled_us = backlog[station].pop(0)
+                request = station.build_read(handles[station], 1, 1)
+                pendings[station] = (station.submit(request), scheduled_us)
+            system.server.poll()
+            progressed = False
+            for station in list(pendings):
+                pending, scheduled_us = pendings[station]
+                response = station.step(pending)
+                if response is None:
+                    continue
+                progressed = True
+                del pendings[station]
+                latency_us = system.clock.now_us - scheduled_us
+                latencies.append(latency_us)
+                self._h_latency.observe(latency_us)
+                completed += 1
+                if response.status != ST_OK:
+                    errors += 1
+            if progressed:
+                stalls = 0
+                if progress is not None:
+                    progress(completed)
+            else:
+                stalls += 1
+                if stalls > STALL_LIMIT:
+                    raise RuntimeError("open-loop generator stalled")
+                step_us = 1_000
+                if next_arrival < len(arrivals) and not pendings \
+                        and not any(backlog.values()):
+                    # Idle until the next scheduled arrival: jump there.
+                    step_us = max(step_us,
+                                  arrivals[next_arrival] - system.clock.now_us)
+                system.clock.advance_us(step_us, "server.client.wait")
+        elapsed_us = system.clock.now_us - started_us
+        elapsed_s = elapsed_us / 1_000_000.0
+        sorted_us = sorted(latencies)
+        if self._h_latency.count == len(sorted_us):
+            p50_us = check_quantile_agreement(sorted_us, self._h_latency, 0.50)
+            p99_us = check_quantile_agreement(sorted_us, self._h_latency, 0.99)
+        else:
+            p50_us = self._h_latency.quantile(0.50)
+            p99_us = self._h_latency.quantile(0.99)
+        return OpenLoopResult(
+            offered_rps=rate_rps,
+            duration_s=duration_s,
+            offered=len(arrivals),
+            completed=completed,
+            errors=errors,
+            elapsed_s=round(elapsed_s, 6),
+            achieved_rps=round(completed / elapsed_s, 3) if elapsed_us else 0.0,
+            p50_ms=round(percentile(sorted(us / 1000.0 for us in latencies),
+                                    0.50), 3),
+            p99_ms=round(percentile(sorted(us / 1000.0 for us in latencies),
+                                    0.99), 3),
+            p50_hist_ms=round(p50_us / 1000.0, 3),
+            p99_hist_ms=round(p99_us / 1000.0, 3),
+        )
 
     def run_sequential(self) -> LoadResult:
         """Baseline mode: the same scripts, one client finishing at a time."""
@@ -374,7 +568,9 @@ class LoadGenerator:
                         break
                     system.clock.advance_us(client.poll_interval_us,
                                             "server.client.wait")
-                latencies.append(system.clock.now_us - pending.first_sent_us)
+                latency_us = system.clock.now_us - pending.first_sent_us
+                latencies.append(latency_us)
+                self._h_latency.observe(latency_us)
                 requests += 1
                 if response.status != ST_OK:
                     errors += 1

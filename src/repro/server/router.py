@@ -75,6 +75,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..clock import SimClock
 from ..errors import ProtocolError, ReproError, ServerError
 from ..net.network import Packet, PacketNetwork
+from ..obs import CounterAttr
 from ..words import string_to_words, words_to_string
 from .engine import FileServer
 from .protocol import (
@@ -129,10 +130,33 @@ class _InFlight:
     shard: Optional[int]             #: pinned shard; None for a scatter
     epoch: int                       #: map epoch at admission (the pin's why)
     name: Optional[str] = None       #: file name, when the op has one
+    sent_us: int = 0                 #: router clock when first forwarded
     packets: List[Packet] = field(default_factory=list)
     scatter_packets: Dict[int, List[Packet]] = field(default_factory=dict)
     pending_shards: Set[int] = field(default_factory=set)
     names: Set[str] = field(default_factory=set)
+
+
+class RouterStats:
+    """The router's rebalance/rewrite tallies as a CounterAttr view.
+
+    Same idiom as ``DriveStats``: attribute reads and ``+=`` writes go
+    straight to counters in the router clock's registry, so the numbers
+    show up in ``obs.stats()`` / ``python -m repro stats`` without any
+    as-dict plumbing here.
+    """
+
+    _FIELDS = ("rewrites", "rebalances", "shipped_names")
+
+    rewrites = CounterAttr("router.rewrites")
+    rebalances = CounterAttr("router.rebalances")
+    shipped_names = CounterAttr("router.shipped_names")
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._FIELDS}
 
 
 class _ClientState:
@@ -248,6 +272,12 @@ class ShardRouter:
         self._c_stale = registry.counter("router.stale")
         self._c_errors = registry.counter("router.errors")
         self._g_pending = registry.gauge("router.pending")
+        self.router_stats = RouterStats(registry)
+        #: Scatter-gather fan-out sizes and per-request shard round trips
+        #: (forward to final shard response, on the producing shard's
+        #: link clock -- the cut-through relay charges the same clock).
+        self._h_scatter_fanout = registry.histogram("router.scatter_fanout")
+        self._h_hop_us = registry.histogram("router.hop_us")
 
     # ------------------------------------------------------------------------
     # The event loop: one bulk-synchronous cluster cycle
@@ -338,7 +368,8 @@ class ShardRouter:
                                 remember=False)
             return
         with self.obs.span("router.route", "router", op=request.op_name,
-                           client=client):
+                           client=client, rid=request_id,
+                           trace_id=f"{client}#{request_id}"):
             if request.op == OP_LIST:
                 self._route_scatter(state, request)
             elif request.op == OP_OPEN:
@@ -385,7 +416,8 @@ class ShardRouter:
         packets = encode_request(forward if forward is not None else request,
                                  state.proxy, self.shards[shard].host)
         ctx = _InFlight(request=request, shard=shard,
-                        epoch=self.shard_map.epoch, name=name, packets=packets)
+                        epoch=self.shard_map.epoch, name=name,
+                        sent_us=self.clock.now_us, packets=packets)
         state.inflight[request.request_id] = ctx
         self._pending += 1
         self._outstanding[shard] += 1
@@ -402,7 +434,9 @@ class ShardRouter:
             return
         with self.obs.span("router.scatter", "router", shards=len(self.shards)):
             ctx = _InFlight(request=request, shard=None,
-                            epoch=self.shard_map.epoch)
+                            epoch=self.shard_map.epoch,
+                            sent_us=self.clock.now_us)
+            self._h_scatter_fanout.observe(len(self.shards))
             ctx.pending_shards = set(range(len(self.shards)))
             for index, shard in enumerate(self.shards):
                 packets = encode_request(request, state.proxy, shard.host)
@@ -483,6 +517,10 @@ class ShardRouter:
             self._relay(state, Response(ST_BUSY, request_id), link,
                         remember=False)
             return
+        # The round trip through the shard, on the producing shard's link
+        # clock (the router's own clock has not yet advanced to this
+        # cycle's horizon when responses are collected).
+        self._h_hop_us.observe(max(0, link.now_us - ctx.sent_us))
         self._relay(state, self._rewrite(state, ctx, shard, response), link)
         self._c_relayed.inc()
 
@@ -490,6 +528,8 @@ class ShardRouter:
                  response: Response) -> Response:
         """Translate a shard response into the client's handle space."""
         op = ctx.request.op
+        if op in (OP_OPEN, OP_READ, OP_WRITE) and response.ok:
+            self.router_stats.rewrites += 1
         if op == OP_OPEN and response.ok:
             vhandle = state.grant(shard, response.handle, ctx.name)
             return Response(ST_OK, response.request_id, handle=vhandle,
@@ -527,6 +567,7 @@ class ShardRouter:
         state.inflight.pop(request_id, None)
         self._pending -= 1
         self._g_pending.set(self._pending)
+        self._h_hop_us.observe(max(0, link.now_us - ctx.sent_us))
         names = merge_names([ctx.names])
         payload: List[int] = []
         for name in names:
@@ -632,6 +673,8 @@ class ShardRouter:
             ship_names(source_fs, target_fs, names, plan.slot,
                        plan.source, plan.target)
         self.shard_map.apply(plan)
+        self.router_stats.rebalances += 1
+        self.router_stats.shipped_names += len(names)
         self._rebalance = None
 
     # ------------------------------------------------------------------------

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.obs import CounterAttr, MetricsRegistry
+from repro.obs import (
+    SUB_BUCKET_BITS,
+    CounterAttr,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+    snapshot_quantiles,
+)
 from repro.obs.runtime import merge_stats
 
 
@@ -46,12 +53,41 @@ class TestHistogram:
         assert hist.max == 9
         assert hist.mean == pytest.approx(14 / 3)
 
-    def test_power_of_two_buckets(self):
+    def test_log_buckets_exact_below_the_sub_bucket_floor(self):
         hist = MetricsRegistry().histogram("h")
         for value in (0, 1, 2, 3, 4):
             hist.observe(value)
-        # bucket i counts values with bit_length i; bucket 0 is exactly 0.
-        assert hist.buckets == {0: 1, 1: 1, 2: 2, 3: 1}
+        # Values below 2**SUB_BUCKET_BITS land in exact unit buckets.
+        assert hist.buckets == {0: 1, 1: 1, 2: 1, 3: 1, 4: 1}
+
+    def test_log_buckets_split_each_octave(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (16, 17, 18, 31, 32):
+            hist.observe(value)
+        # 16..31 is one octave split into 8 two-wide buckets (16..23);
+        # 32 starts the next octave at bucket 24.
+        assert hist.buckets == {16: 2, 17: 1, 23: 1, 24: 1}
+
+    def test_bucket_bounds_invert_bucket_index(self):
+        for value in (0, 1, 7, 8, 9, 255, 256, 1_000_000, 2**40 + 3):
+            lower, upper = bucket_bounds(bucket_index(value))
+            assert lower <= value <= upper
+            # Bounded relative width: the quantile error guarantee.
+            assert upper - lower <= max(0, lower >> SUB_BUCKET_BITS)
+
+    def test_quantile_and_percentiles(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+        p = hist.percentiles()
+        assert set(p) == {"p50", "p90", "p99", "p99.9"}
+        assert 50 <= p["p50"] <= 50 * 1.125
+        assert 99 <= p["p99"] <= 99 * 1.125
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert MetricsRegistry().histogram("h").quantile(0.5) == 0.0
 
 
 class TestMirroring:
@@ -123,6 +159,7 @@ class TestSnapshot:
             "h.total": 6,
             "h.min": 6,
             "h.max": 6,
+            "h.bucket.6": 1,
         }
 
     def test_empty_histogram_omits_min_max(self):

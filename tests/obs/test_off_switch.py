@@ -94,6 +94,52 @@ class TestReplSession:
         assert "fs.scavenge" in names
 
 
+def cluster_session(trace: bool):
+    """A 4-shard cluster load run, every machine's clock and pack checked."""
+    from repro.obs import disable_trace_all, enable_trace_all
+    from repro.server.loadgen import LoadGenerator, build_cluster
+
+    if trace:
+        enable_trace_all()
+    try:
+        system = build_cluster(clients=3, shards=4, tiny=True)
+        LoadGenerator(system, file_bytes=700, read_rounds=1).run()
+    finally:
+        if trace:
+            disable_trace_all()
+    return system
+
+
+class TestClusterSession:
+    def test_four_shard_cluster_identical(self):
+        """Telemetry on or off, every shard pack's bytes and every
+        machine's simulated microseconds are identical -- the PR 3
+        invariant extended to the sharded cluster, where spans now cover
+        client stations, the router, and each shard."""
+        off = cluster_session(trace=False)
+        on = cluster_session(trace=True)
+        assert on.clock.now_us == off.clock.now_us
+        assert on.clock.tallies() == off.clock.tallies()
+        for shard_on, shard_off in zip(on.shards, off.shards):
+            assert shard_on.clock.now_us == shard_off.clock.now_us
+            assert shard_on.clock.tallies() == shard_off.clock.tallies()
+            assert (pack_bytes(shard_on.fs.drive.image)
+                    == pack_bytes(shard_off.fs.drive.image))
+
+    def test_traced_cluster_actually_traced(self):
+        """Guard against the vacuous pass: the traced cluster run must
+        record the new request-telemetry spans on every lane."""
+        on = cluster_session(trace=True)
+        router_names = {e.name for e in on.clock.obs.tracer.events}
+        assert "router.route" in router_names
+        assert any(name.startswith("client.") for name in router_names)
+        shard_names = set()
+        for shard in on.shards:
+            shard_names |= {e.name for e in shard.clock.obs.tracer.events}
+        assert "server.request" in shard_names
+        assert "server.queue" in shard_names
+
+
 class TestMetricsAreFree:
     def test_reading_stats_advances_nothing(self):
         image = DiskImage(tiny_test_disk())

@@ -1,0 +1,115 @@
+"""Property tests: log-bucket quantiles bracket the true nearest-rank value.
+
+The histogram's contract (``SUB_BUCKET_BITS = 3``): for any stream of
+non-negative integer samples and any quantile ``q``, the estimate ``e``
+and the true nearest-rank sample ``v`` (rank ``ceil(q * n)``) satisfy
+
+    v <= e <= v * (1 + 2**-SUB_BUCKET_BITS)
+
+-- the estimate never undershoots and overshoots by at most one bucket's
+relative width.  Hypothesis sweeps arbitrary streams; the edge cases
+(empty, single sample, huge overflow-octave values) get explicit tests.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    SUB_BUCKET_BITS,
+    Histogram,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+    merge_stats,
+    snapshot_quantiles,
+)
+
+RELATIVE_ERROR = 2 ** -SUB_BUCKET_BITS
+
+samples = st.lists(st.integers(min_value=0, max_value=2 ** 48), min_size=1,
+                   max_size=200)
+quantiles = st.sampled_from([0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0])
+
+
+def true_nearest_rank(values, q):
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples, quantiles)
+def test_estimate_brackets_true_nearest_rank(values, q):
+    hist = Histogram("h")
+    for value in values:
+        hist.observe(value)
+    estimate = hist.quantile(q)
+    true_value = true_nearest_rank(values, q)
+    assert true_value <= estimate <= true_value * (1 + RELATIVE_ERROR)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 60))
+def test_bucket_bounds_bracket_every_value(value):
+    lower, upper = bucket_bounds(bucket_index(value))
+    assert lower <= value <= upper
+    assert upper - lower <= max(0, lower >> SUB_BUCKET_BITS)
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples, samples, quantiles)
+def test_merged_snapshots_estimate_the_union(left, right, q):
+    """Cluster-wide quantiles: merging two machines' snapshots by plain
+    summation then estimating equals observing the union's contract."""
+    registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+    for value in left:
+        registry_a.histogram("h").observe(value)
+    for value in right:
+        registry_b.histogram("h").observe(value)
+    merged = merge_stats([registry_a.snapshot(), registry_b.snapshot()])
+    estimate = snapshot_quantiles(merged, "h", quantiles=(q,))
+    true_value = true_nearest_rank(left + right, q)
+    (value,) = estimate.values()
+    assert true_value <= value <= true_value * (1 + RELATIVE_ERROR)
+
+
+class TestEdges:
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.percentiles() == {"p50": 0.0, "p90": 0.0, "p99": 0.0,
+                                      "p99.9": 0.0}
+
+    def test_single_sample_is_exact_at_every_quantile(self):
+        hist = Histogram("h")
+        hist.observe(12345)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 12345.0
+
+    def test_zero_only_stream(self):
+        hist = Histogram("h")
+        for _ in range(10):
+            hist.observe(0)
+        assert hist.quantile(0.99) == 0.0
+
+    def test_overflow_octave_values_keep_relative_error(self):
+        # 2**55 + 2**16 is exactly representable as a float (spacing at
+        # this magnitude is 4), so the max clamp stays precise.
+        hist = Histogram("h")
+        value = 2 ** 55 + 2 ** 16
+        hist.observe(value)
+        hist.observe(1)
+        estimate = hist.quantile(1.0)
+        assert value <= estimate <= value * (1 + RELATIVE_ERROR)
+
+    def test_max_clamp_beats_bucket_upper_bound(self):
+        """With few samples the observed max is tighter than the bucket's
+        upper bound; the estimate must use it."""
+        hist = Histogram("h")
+        hist.observe(1000)
+        assert hist.quantile(0.5) == 1000.0
+
+    def test_snapshot_quantiles_missing_histogram(self):
+        assert snapshot_quantiles({"c": 3}, "h") == {}

@@ -1,0 +1,108 @@
+"""``repro top``: the renderer is a pure function, the dashboard a driver.
+
+The renderer goes from a flat stats snapshot to one text frame; these
+tests feed it hand-built and real (loadgen) snapshots and check the
+content.  The dashboard tests drive :class:`TopDashboard` against a
+``StringIO`` exactly as ``python -m repro top`` does.
+"""
+
+import io
+
+from repro.obs import MetricsRegistry, TopDashboard, render_top
+from repro.server.loadgen import LoadGenerator, build_system
+
+
+def sample_stats():
+    registry = MetricsRegistry()
+    hist = registry.histogram("server.request_us")
+    for value in (800, 1_200, 2_000, 50_000):
+        hist.observe(value)
+    registry.histogram("router.scatter_fanout").observe(4)
+    registry.counter("server.requests").inc(4)
+    registry.counter("server.flushes").inc(2)
+    stats = registry.snapshot()
+    stats["clock.now_us"] = 2_000_000
+    stats["server.queue.depth.high_water"] = 3
+    return stats
+
+
+class TestRenderTop:
+    def test_header_counts_and_throughput(self):
+        frame = render_top(sample_stats(), title="unit top")
+        head = frame.splitlines()[0]
+        assert "unit top" in head
+        assert "2.000s" in head
+        assert "4 requests" in head
+        assert "2.0 req/s" in head
+
+    def test_latency_rows_show_quantiles(self):
+        frame = render_top(sample_stats())
+        (row,) = [l for l in frame.splitlines() if "server.request_us" in l]
+        assert "p99.9" in frame
+        # count, mean, and humanised microsecond quantiles
+        assert row.split()[1] == "4"
+        assert "ms" in row
+
+    def test_non_time_histograms_print_plain_numbers(self):
+        frame = render_top(sample_stats())
+        (row,) = [l for l in frame.splitlines()
+                  if "router.scatter_fanout" in l]
+        assert "us" not in row.replace("router.scatter_fanout", "")
+
+    def test_counters_and_high_water_tail(self):
+        frame = render_top(sample_stats())
+        assert "requests=4" in frame
+        assert "flushes=2" in frame
+        assert "queue depth high-water 3" in frame
+
+    def test_empty_snapshot_renders_a_header(self):
+        frame = render_top({})
+        assert frame.startswith("repro top")
+        assert "0 requests" in frame
+
+    def test_extra_lines_are_appended(self):
+        frame = render_top({}, extra=["round 3/5"])
+        assert frame.rstrip().endswith("round 3/5")
+
+
+class TestTopDashboard:
+    def test_tick_redraws_every_interval(self):
+        out = io.StringIO()
+        frames = []
+        dashboard = TopDashboard(lambda: sample_stats(), interval=10,
+                                 live=False, out=out)
+        for completed in range(0, 35):
+            dashboard.tick(completed)
+            frames.append(dashboard.frames)
+        assert dashboard.frames == 3  # at 10, 20, 30
+        assert out.getvalue().count("repro top --") == 3
+
+    def test_live_mode_clears_between_frames(self):
+        out = io.StringIO()
+        dashboard = TopDashboard(lambda: sample_stats(), live=True, out=out)
+        dashboard.refresh()
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_non_live_mode_appends_frames(self):
+        out = io.StringIO()
+        dashboard = TopDashboard(lambda: sample_stats(), live=False, out=out)
+        dashboard.refresh()
+        dashboard.refresh()
+        assert "\x1b" not in out.getvalue()
+        assert dashboard.frames == 2
+
+    def test_drives_a_real_loadgen_run(self):
+        """The ``python -m repro top`` wiring: snapshot callable over the
+        live system, tick as the progress callback."""
+        out = io.StringIO()
+        system = build_system(clients=2, tiny=True)
+        dashboard = TopDashboard(system.stats, interval=4, live=False,
+                                 out=out, title="loadgen top")
+        result = LoadGenerator(system, file_bytes=700,
+                               read_rounds=1).run(progress=dashboard.tick)
+        dashboard.refresh()
+        assert result.requests > 0
+        assert dashboard.frames >= 2
+        final = out.getvalue().rsplit("loadgen top", 1)[1]
+        assert "server.request_us" in final
+        assert "loadgen.request_us" in final

@@ -1,0 +1,130 @@
+"""Cross-shard trace stitching: one request, one causal trace.
+
+A traced 4-shard cluster run exports one Chrome trace with a process
+lane per simulated machine (router front plus each shard, with the
+client stations as named tracks on the router lane).  Every span the
+server layer stamps with a ``trace_id`` (``"<client>#<rid>"``) is bound
+to its siblings on other lanes by flow events, so the viewer draws the
+request's path client -> router -> shard -> client.  These tests pin
+the stitching, the host-alias normalisation, and the schema validator's
+new async/flow rules.
+"""
+
+from repro.obs import (
+    disable_trace_all,
+    enable_trace_all,
+    stitch_trace,
+    validate_trace,
+)
+from repro.server.loadgen import LoadGenerator, build_cluster
+
+
+def traced_cluster(clients: int = 2, shards: int = 4):
+    enable_trace_all()
+    try:
+        system = build_cluster(clients=clients, shards=shards, tiny=True)
+        LoadGenerator(system, file_bytes=700, read_rounds=1).run()
+    finally:
+        disable_trace_all()
+    tracers = [("router", system.clock.obs.tracer)]
+    tracers += [(shard.host, shard.clock.obs.tracer)
+                for shard in system.shards]
+    return system, tracers
+
+
+def stitched(tracers):
+    return stitch_trace(tracers, strip_prefixes=("fileserver.",))
+
+
+def flow_events(trace):
+    return [e for e in trace["traceEvents"] if e.get("ph") in ("s", "t", "f")]
+
+
+class TestStitchedCluster:
+    def test_trace_is_schema_valid(self):
+        _, tracers = traced_cluster()
+        assert validate_trace(stitched(tracers)) == []
+
+    def test_lanes_cover_client_router_and_shards(self):
+        system, tracers = traced_cluster()
+        trace = stitched(tracers)
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        # Router lane is pid 0; each shard gets its own process lane.
+        assert {e["pid"] for e in spans} == set(range(1 + len(system.shards)))
+        # Client stations are named tracks (tid >= 1) on the router lane.
+        client_spans = [e for e in spans
+                        if e["pid"] == 0 and e["name"].startswith("client.")]
+        assert client_spans and all(e["tid"] >= 1 for e in client_spans)
+        thread_names = {(e["pid"], e["tid"]): e["args"]["name"]
+                        for e in trace["traceEvents"]
+                        if e.get("ph") == "M" and e["name"] == "thread_name"}
+        for event in client_spans:
+            assert thread_names[(0, event["tid"])].startswith("client ")
+
+    def test_requests_are_stitched_across_machines(self):
+        _, tracers = traced_cluster()
+        trace = stitched(tracers)
+        flows = flow_events(trace)
+        assert flows, "no flow events: nothing was stitched"
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], []).append(event)
+        crossing = 0
+        for steps in by_id.values():
+            # Each flow is a start, optional middles, and a binding finish.
+            assert [e["ph"] for e in steps[:1]] == ["s"]
+            assert steps[-1]["ph"] == "f" and steps[-1]["bp"] == "e"
+            assert all(e["ph"] == "t" for e in steps[1:-1])
+            assert len({e["ts"] for e in steps}) >= 1
+            if len({e["pid"] for e in steps}) >= 2:
+                crossing += 1
+        # READs against a 4-shard cluster must hop client -> shard lanes.
+        assert crossing > 0
+
+    def test_host_aliases_fold_into_one_trace_id(self):
+        """The shard sees the proxy host ``fileserver.<client>``; after
+        stitching both sides carry the client's own trace id."""
+        _, tracers = traced_cluster()
+        trace = stitched(tracers)
+        ids = {e["args"]["trace_id"] for e in trace["traceEvents"]
+               if e.get("args", {}).get("trace_id")}
+        assert ids
+        assert not any(i.startswith("fileserver.") for i in ids)
+        # ... and at least one request's spans appear on several lanes.
+        lanes_per_id = {}
+        for event in trace["traceEvents"]:
+            trace_id = event.get("args", {}).get("trace_id")
+            if trace_id:
+                lanes_per_id.setdefault(trace_id, set()).add(event["pid"])
+        assert max(len(lanes) for lanes in lanes_per_id.values()) >= 2
+
+    def test_unstitched_trace_has_no_flows(self):
+        from repro.obs import chrome_trace
+
+        _, tracers = traced_cluster()
+        assert flow_events(chrome_trace(tracers)) == []
+
+
+class TestValidatorRejects:
+    def base(self):
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_async_end_without_begin(self):
+        trace = self.base()
+        trace["traceEvents"] = [{"name": "q", "cat": "server", "ph": "e",
+                                 "id": 1, "ts": 5, "pid": 0, "tid": 0,
+                                 "args": {}}]
+        assert any("without" in err for err in validate_trace(trace))
+
+    def test_async_begin_without_end(self):
+        trace = self.base()
+        trace["traceEvents"] = [{"name": "q", "cat": "server", "ph": "b",
+                                 "id": 1, "ts": 5, "pid": 0, "tid": 0,
+                                 "args": {}}]
+        assert validate_trace(trace) != []
+
+    def test_flow_event_missing_id(self):
+        trace = self.base()
+        trace["traceEvents"] = [{"name": "r", "cat": "request", "ph": "s",
+                                 "ts": 5, "pid": 0, "tid": 0}]
+        assert any("id" in err for err in validate_trace(trace))

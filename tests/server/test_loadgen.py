@@ -79,3 +79,47 @@ def test_sequential_latencies_are_lower_but_wall_time_higher():
     _, sequential = run_load("sequential")
     assert sequential.p50_ms <= concurrent.p50_ms
     assert sequential.elapsed_s > concurrent.elapsed_s
+
+
+def test_histogram_and_list_percentiles_both_reported():
+    """Satellite of the telemetry PR: the loadgen's raw-list percentiles
+    and the ``loadgen.request_us`` registry histogram are reported side
+    by side, and ``_result`` asserts they agree within one log bucket."""
+    _, result = run_load()
+    assert result.p50_hist_ms > 0
+    assert result.p99_hist_ms >= result.p50_hist_ms
+    # The histogram estimate never undershoots the true nearest-rank and
+    # overshoots by at most a bucket width (12.5% at SUB_BUCKET_BITS=3).
+    assert result.p99_hist_ms <= result.p99_ms * 1.126
+
+
+def test_check_quantile_agreement_rejects_a_drifted_histogram():
+    import pytest
+
+    from repro.obs import Histogram
+    from repro.server.loadgen import check_quantile_agreement
+
+    hist = Histogram("h")
+    for value in (100, 200, 400):
+        hist.observe(value)
+    assert check_quantile_agreement([100, 200, 400], hist, 0.5) >= 200
+    hist.observe(10_000)  # histogram no longer matches the list
+    with pytest.raises(AssertionError):
+        check_quantile_agreement([100, 200, 400], hist, 1.0)
+
+
+def test_open_loop_below_capacity_completes_everything():
+    system = build_system(clients=4, seed=7, tiny=True)
+    result = LoadGenerator(system, seed=7).run_open_loop(100, 0.5)
+    assert result.errors == 0
+    assert result.completed == result.offered > 0
+    assert abs(result.achieved_rps - 100) / 100 < 0.25
+    assert result.p50_hist_ms > 0
+
+
+def test_open_loop_is_deterministic_on_one_server():
+    def run():
+        system = build_system(clients=4, seed=7, tiny=True)
+        return LoadGenerator(system, seed=7).run_open_loop(100, 0.5)
+
+    assert run().to_json() == run().to_json()
