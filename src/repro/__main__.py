@@ -14,6 +14,12 @@ recovery invariant is checked (see :mod:`repro.fs.check`).  With
 :class:`~repro.disk.cache.CachedDrive`, so crashes also land inside flush
 drains and lose whatever the cache had buffered.
 
+``python -m repro failover`` runs the hot-standby failover drill (see
+:mod:`repro.server.failover`): a replicated file server is killed at
+every sector part-write mid-load, the standby is promoted by replaying
+the journal tail, and every acked write is proven to survive while
+retries stay at-most-once.
+
 ``python -m repro bench`` runs the benchmark regression harness (see
 :mod:`repro.bench`): every ``benchmarks/bench_*.py`` measure, compared
 against checked-in baselines, reported as ``BENCH_PR2.json``.
@@ -365,6 +371,73 @@ def serve_cmd(argv) -> int:
     return 0
 
 
+def failover_cmd(argv) -> int:
+    """The ``failover`` subcommand: crash-point-swept zero-loss failover drill."""
+    from .server.failover import failover_crash_sweep, failover_drill
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro failover",
+        description="Hot-standby failover drill: kill the replicated primary at "
+                    "every part-write, promote the standby by replaying the "
+                    "journal tail, and prove no acked write was lost and "
+                    "retries stay at-most-once",
+    )
+    parser.add_argument("--seed", type=int, default=1979,
+                        help="seed for pack contents, workload, and seeded wear")
+    parser.add_argument("--cylinders", type=int, default=20,
+                        help="size of the test pack (tiny_test_disk cylinders)")
+    parser.add_argument("--points", metavar="N[,N...]",
+                        help="sweep only these crash points (default: all)")
+    parser.add_argument("--no-maintain", action="store_true",
+                        help="run without the continuous incremental scavenge "
+                             "patrol on the primary")
+    parser.add_argument("--drill-only", action="store_true",
+                        help="run one clean (no-crash) drill and exit instead "
+                             "of sweeping crash points")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every crash point as it is checked")
+    args = parser.parse_args(argv)
+
+    points = None
+    if args.points:
+        try:
+            points = [int(p) for p in args.points.split(",")]
+        except ValueError:
+            parser.error(f"--points expects integers, got {args.points!r}")
+
+    maintain = not args.no_maintain
+    if args.drill_only:
+        report = failover_drill(seed=args.seed, cylinders=args.cylinders,
+                                maintain=maintain)
+        print(report)
+        for problem in report.problems:
+            print(f"FAIL {problem}")
+        return 0 if report.ok else 1
+
+    def narrate(report):
+        print(f"  {report}")
+
+    try:
+        result = failover_crash_sweep(
+            seed=args.seed,
+            cylinders=args.cylinders,
+            points=points,
+            maintain=maintain,
+            on_point=narrate if args.verbose else None,
+        )
+    except (ValueError, RuntimeError) as exc:
+        parser.error(str(exc))
+    print(result.summary())
+    for failure in result.failures:
+        print(f"FAIL {failure}")
+        for problem in failure.problems:
+            print(f"     {problem}")
+    if result.failures:
+        print(f"replay one point with: python -m repro failover "
+              f"--seed {args.seed} --points <N> -v")
+    return 0 if result.ok else 1
+
+
 def top_cmd(argv) -> int:
     """The ``top`` subcommand: live latency dashboard over a serve run."""
     from .obs.top import TopDashboard
@@ -422,6 +495,8 @@ def main(argv=None) -> int:
         return stats_cmd(argv[1:])
     if argv and argv[0] == "top":
         return top_cmd(argv[1:])
+    if argv and argv[0] == "failover":
+        return failover_cmd(argv[1:])
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
 

@@ -203,6 +203,11 @@ class DiskDrive:
         self.max_read_retries = max_read_retries
         #: Optional observer (see :class:`repro.disk.trace.DiskTrace`).
         self.trace = None
+        #: Optional durability observer: called as ``tap(address, part, data)``
+        #: after every part-write lands on the platter (never for torn
+        #: writes -- the injector raises before the tap).  This is the
+        #: replication journal's capture point (:mod:`repro.server.replica`).
+        self.journal_tap = None
         # Direct references to the stats counters: the per-command hot path
         # increments these a few times per sector and must not re-run the
         # descriptor-protocol read-modify-write of ``stats.x += 1``.  Both
@@ -277,7 +282,7 @@ class DiskDrive:
         self.shape.check_address(address)
 
         obs = self.clock.obs
-        if obs.tracing or self.trace is not None or self.fault_injector is not None:
+        if obs.tracing or self.trace is not None:
             commands = {
                 "header": header if header is not None else _NO_ACTION,
                 "label": label if label is not None else _NO_ACTION,
@@ -302,7 +307,7 @@ class DiskDrive:
         if address in self.image.bad_media:
             raise BadSectorError(f"unrecoverable media error at address {address}")
         if self.fault_injector is not None:
-            self.fault_injector.before_parts(self, address, commands)
+            self.fault_injector.before_parts(self, address, parts)
 
         attempt = 0
         while True:
@@ -436,21 +441,25 @@ class DiskDrive:
             sector.set_label_words(data)
         else:
             sector.value = data
+        if self.journal_tap is not None:
+            self.journal_tap(address, part, data)
 
     # ------------------------------------------------------------------------
     # Convenience commands (each is exactly one hardware command)
     # ------------------------------------------------------------------------
     #
     # Each shapes a statically valid command (write-continuation holds by
-    # construction), so on a plain DiskDrive with nothing observing --
-    # no tracer, no fault injector, no active span collection -- the
-    # PartCommand packaging and transfer() re-validation add nothing:
-    # address check + _execute is the identical computation.  Subclasses
-    # (CachedDrive intercepts transfer; ReferenceDrive replays the slow
-    # loops) and observed drives always take the full route.
+    # construction), so on a plain DiskDrive with neither a tracer nor an
+    # active span collection the PartCommand packaging and transfer()
+    # re-validation add nothing: address check + _execute is the identical
+    # computation.  A fault injector rides the direct route too -- it
+    # observes the flattened (part, action, data) triples, which the
+    # static shapes below already are.  Subclasses (CachedDrive intercepts
+    # transfer; ReferenceDrive replays the slow loops) and traced drives
+    # always take the full route.
 
     def _direct(self) -> bool:
-        return (type(self) is DiskDrive and self.fault_injector is None
+        return (type(self) is DiskDrive
                 and self.trace is None and not self.clock.obs.tracing)
 
     def read_sector(self, address: int) -> TransferResult:

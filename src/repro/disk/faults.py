@@ -42,8 +42,14 @@ class FaultInjector:
     # Drive hooks
     # ------------------------------------------------------------------------
 
-    def before_parts(self, drive, address: int, commands: dict) -> None:
-        """Called by the drive before processing a command's parts."""
+    def before_parts(self, drive, address: int, parts: Sequence) -> None:
+        """Called by the drive before processing a command's parts.
+
+        *parts* is the drive's flattened command: a sequence of
+        ``(part, Action, data)`` triples covering every non-NONE part in
+        head order -- the same shape the drive executes, so observing it
+        costs no ``PartCommand`` packaging on the hot path.
+        """
         # Currently a hook point only; media errors are raised by the drive
         # itself from ``image.bad_media``.
 
@@ -307,21 +313,25 @@ class FaultPlan(FaultInjector):
     # Drive hooks
     # ------------------------------------------------------------------------
 
-    def before_parts(self, drive, address: int, commands: dict) -> None:
+    def before_parts(self, drive, address: int, parts: Sequence) -> None:
         """Command start: dead-machine check and label+value tear arming."""
         self._require_alive()
         from .drive import Action
 
         self._crash_before_value = False
-        if (
-            self._tear_label_value is not None
-            and commands["label"].action is Action.WRITE
-            and commands["value"].action is Action.WRITE
-        ):
-            self._tear_label_value -= 1
-            if self._tear_label_value <= 0:
-                self._tear_label_value = None
-                self._crash_before_value = True
+        if self._tear_label_value is not None:
+            label_write = value_write = False
+            for part, action, _data in parts:
+                if action is Action.WRITE:
+                    if part == "label":
+                        label_write = True
+                    elif part == "value":
+                        value_write = True
+            if label_write and value_write:
+                self._tear_label_value -= 1
+                if self._tear_label_value <= 0:
+                    self._tear_label_value = None
+                    self._crash_before_value = True
 
     def before_part(self, drive, address: int, part: str, action: str) -> None:
         """Called for every non-NONE part just before it passes the head."""

@@ -36,6 +36,12 @@ from .names import (
     make_serial,
     page_number_from_label,
 )
+from .online import (
+    MaintenanceInvariantError,
+    MaintenanceReport,
+    ONLINE_TOLERATED_ISSUES,
+    OnlineMaintenance,
+)
 from .page import PageContents, PageIO
 from .scavenger import ScavengeReport, Scavenger, SweptPage, scavenge
 
@@ -67,6 +73,10 @@ __all__ = [
     "LeaderPage",
     "MAX_NAME_LENGTH",
     "MAX_PAGE_NUMBER",
+    "MaintenanceInvariantError",
+    "MaintenanceReport",
+    "ONLINE_TOLERATED_ISSUES",
+    "OnlineMaintenance",
     "PageAllocator",
     "PageContents",
     "PageIO",

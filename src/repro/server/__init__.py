@@ -58,7 +58,20 @@ from .protocol import (
     encode_request,
     encode_response,
 )
+from .failover import (
+    FailoverReport,
+    FailoverSweepResult,
+    failover_crash_sweep,
+    failover_drill,
+)
 from .rebalance import Shipment, recover_shipment, ship_names
+from .replica import (
+    PromotionReport,
+    ReplicaStandby,
+    ReplicatedFileServer,
+    ReplicationPrimary,
+    promote,
+)
 from .router import ShardRouter, merge_names
 from .session import OpenHandle, Session
 from .shardmap import RebalancePlan, ShardMap, hash_name
@@ -67,6 +80,8 @@ __all__ = [
     "ClusterSystem",
     "DEFAULT_MAX_PENDING",
     "FLAG_CREATE",
+    "FailoverReport",
+    "FailoverSweepResult",
     "FileClient",
     "FileServer",
     "FrameAssembler",
@@ -80,7 +95,11 @@ __all__ = [
     "OP_WRITE",
     "OpenHandle",
     "PendingRequest",
+    "PromotionReport",
     "RebalancePlan",
+    "ReplicaStandby",
+    "ReplicatedFileServer",
+    "ReplicationPrimary",
     "Request",
     "Response",
     "ST_BAD_HANDLE",
@@ -100,8 +119,11 @@ __all__ = [
     "build_system",
     "encode_request",
     "encode_response",
+    "failover_crash_sweep",
+    "failover_drill",
     "hash_name",
     "merge_names",
+    "promote",
     "recover_shipment",
     "ship_names",
 ]

@@ -9,7 +9,10 @@ all of them deterministically:
   request id, which the server answers from its replay cache without
   re-executing;
 * the server answers **``ST_BUSY``** (admission queue full): the client
-  waits out an exponentially growing backoff before resending;
+  waits out an exponentially growing backoff before resending --
+  optionally de-synchronized by a deterministic seeded jitter
+  (``backoff_jitter``, off by default so pinned golden runs are
+  byte-identical);
 * a **stale response** arrives for an id the client gave up on: it is
   discarded by id matching.
 
@@ -35,6 +38,7 @@ b'hello'
 
 from __future__ import annotations
 
+import random
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import RequestFailed, RequestTimeout
@@ -107,6 +111,8 @@ class FileClient:
         backoff_factor: int = 2,
         poll_interval_us: int = DEFAULT_POLL_INTERVAL_US,
         read_batch_pages: int = MAX_BATCH_PAGES,
+        backoff_jitter: float = 0.0,
+        jitter_seed: int = 1979,
     ) -> None:
         self.network = network
         self.host = host
@@ -119,6 +125,16 @@ class FileClient:
         self.backoff_factor = backoff_factor
         self.poll_interval_us = poll_interval_us
         self.read_batch_pages = min(read_batch_pages, MAX_BATCH_PAGES)
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0.0, 1.0]")
+        self.backoff_jitter = backoff_jitter
+        # Deterministic per-station jitter stream: seeded from (seed, host)
+        # so every run with the same seed replays byte-identically, yet two
+        # stations sharing a seed still de-synchronize from each other.
+        # None when jitter is off (the default), so the un-jittered resend
+        # schedule -- and every golden pinned to it -- is untouched.
+        self._jitter = (random.Random(f"{jitter_seed}:{host}")
+                        if backoff_jitter > 0.0 else None)
         self.assembler = FrameAssembler()
         self._next_id = 1
         self.obs = self.clock.obs
@@ -239,7 +255,17 @@ class FileClient:
         if immediately:
             self._resend(pending, now)
         else:
-            pending.resend_at_us = now + pending.backoff_us
+            delay = pending.backoff_us
+            if self._jitter is not None:
+                # Subtractive ("decorrelated early") jitter: back off up to
+                # backoff_jitter earlier than the nominal delay, never later,
+                # so a herd of stations rejected by the same busy poll
+                # spreads out instead of re-colliding in lockstep.  The
+                # geometric growth of the *nominal* backoff is untouched.
+                spread = int(delay * self.backoff_jitter)
+                if spread:
+                    delay -= self._jitter.randrange(spread + 1)
+            pending.resend_at_us = now + delay
             pending.backoff_us *= self.backoff_factor
 
     def _resend(self, pending: PendingRequest, now: int) -> None:

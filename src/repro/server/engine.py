@@ -112,6 +112,10 @@ class FileServer:
         #: Per-client admission queues, serviced round-robin.
         self._queues: "OrderedDict[str, Deque[Tuple[Request, int]]]" = OrderedDict()
         self._pending = 0
+        #: Optional :class:`repro.fs.online.OnlineMaintenance`: when set, one
+        #: bounded maintenance slice runs at the end of every poll cycle,
+        #: interleaving scavenge/compaction with request service.
+        self.maintenance = None
         registry = self.obs.registry
         self._c_requests = registry.counter("server.requests")
         self._c_rejected = registry.counter("server.rejected")
@@ -169,6 +173,8 @@ class FileServer:
                 for handle in session.handles.values():
                     handle.wrote = False
             del drained
+        if self.maintenance is not None:
+            self.maintenance.step()
         return served
 
     def _ingest(self) -> None:
@@ -210,8 +216,7 @@ class FileServer:
         cached = session.replay(request.request_id)
         if cached is not None:
             self._c_replayed.inc()
-            for packet in cached:
-                self.network.send(packet)
+            self._resend(client, request.request_id, cached)
             return False
         start_us = self.clock.now_us
         trace_id = f"{client}#{request.request_id}"
@@ -251,6 +256,14 @@ class FileServer:
         for packet in packets:
             self.network.send(packet)
         return packets
+
+    def _resend(self, client: str, request_id: int, packets: List[Packet]) -> None:
+        """Re-send a replay-cached response (a retry of a served request).
+
+        A replicating subclass overrides this to withhold replays whose
+        original response is still gated on standby acknowledgement."""
+        for packet in packets:
+            self.network.send(packet)
 
     def _dispatch(self, session, request: Request) -> Tuple[Response, bool]:
         if request.op == OP_OPEN:

@@ -678,6 +678,43 @@ class ShardRouter:
         self._rebalance = None
 
     # ------------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------------
+
+    def promote_shard(self, index: int, server: FileServer) -> None:
+        """Swap shard *index* for its promoted standby (see
+        :func:`repro.server.replica.promote`).
+
+        The replacement serves the same files, possibly at a new host, so
+        the shard map is untouched -- names keep hashing to the same
+        index.  What did die with the old machine is dropped here: requests
+        in flight to it are forgotten (the clients' retries are admitted
+        fresh and forwarded to the replacement), and virtual handles into
+        it are revoked (the shard's sessions are gone, so the next use
+        answers ``ST_BAD_HANDLE`` and the client re-opens).  The router's
+        own per-client replay caches survive untouched: a retry of a
+        request that completed *before* the crash still gets the cached
+        response, never a re-execution -- at-most-once holds across the
+        failover.
+        """
+        self.shards[index] = server
+        self._host_to_shard = {shard.host: i
+                               for i, shard in enumerate(self.shards)}
+        for state in self._states.values():
+            doomed = [rid for rid, ctx in state.inflight.items()
+                      if (ctx.shard == index
+                          or (ctx.shard is None
+                              and index in ctx.pending_shards))]
+            for rid in doomed:
+                self._drop(state, state.inflight[rid])
+            revoked = [vh for vh, vhandle in state.vhandles.items()
+                       if vhandle.shard == index]
+            for vh in revoked:
+                del state.vhandles[vh]
+        self._outstanding[index] = 0
+        self.obs.registry.counter("router.promotions").inc()
+
+    # ------------------------------------------------------------------------
     # Restart and recovery
     # ------------------------------------------------------------------------
 

@@ -1,0 +1,173 @@
+"""Incremental scavenge/compaction: bounded slices, verified boundaries.
+
+The offline tools own the pack for a full run; :class:`OnlineMaintenance`
+must do the same repairs in budgeted slices *while the file system stays
+live* -- so the tests check three things the offline suite cannot: that
+work actually arrives in bounded pieces, that every boundary passes the
+consistency check, and that a server interleaving slices with request
+service corrupts nothing.
+"""
+
+import pytest
+
+from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+from repro.disk.sector import Label
+from repro.fs.descriptor import BOOT_PAGE_ADDRESS
+from repro.fs.fsck import check_image
+from repro.fs.online import (
+    DEFAULT_BUDGET_US,
+    MaintenanceInvariantError,
+    OnlineMaintenance,
+    PHASE_DONE,
+    PHASE_SWEEP,
+)
+
+GARBAGE_LABEL = Label(serial=0x0042, version=1, page_number=1, length=0)
+
+
+def build_fs(files=3):
+    fs = FileSystem.format(DiskDrive(DiskImage(tiny_test_disk())))
+    for i in range(files):
+        fs.create_file(f"f{i}.dat").write_data(bytes([i]) * (600 + 100 * i))
+    return fs
+
+
+def plant_garbage(fs, count=3):
+    """Stamp in-use-but-unparseable labels on free sectors near the top."""
+    image = fs.drive.image
+    planted = []
+    for address in range(image.shape.total_sectors() - 1, 1, -1):
+        if len(planted) == count:
+            break
+        if address == BOOT_PAGE_ADDRESS or not fs.allocator.is_free(address):
+            continue
+        sector = image.sector(address)
+        if not Label.unpack(sector.label_words()).is_free:
+            continue
+        sector.set_label_words(GARBAGE_LABEL.pack())
+        planted.append(address)
+    assert len(planted) == count
+    return planted
+
+
+def test_clean_pack_finishes_with_verified_boundaries():
+    fs = build_fs()
+    maint = OnlineMaintenance(fs)
+    report = maint.run_to_completion()
+    assert maint.phase == PHASE_DONE
+    assert report.passes == 1
+    assert report.slices == report.checks_passed   # every boundary verified
+    assert report.sectors_audited == fs.drive.shape.total_sectors()
+    assert not check_image(fs.drive.image).issues
+
+
+def test_slices_are_time_bounded():
+    fs = build_fs()
+    maint = OnlineMaintenance(fs, budget_us=5_000)
+    before = fs.drive.clock.now_us
+    assert maint.step()
+    elapsed = fs.drive.clock.now_us - before
+    # One slice: the budget, plus at most one overshooting work unit and
+    # the boundary flush -- never a whole-pack pause.
+    assert elapsed < 20 * 5_000
+    assert maint.report.slices == 1
+
+
+def test_sweep_repairs_map_drift_in_both_directions():
+    fs = build_fs()
+    allocator = fs.allocator
+    # A lost page: the map says busy, the label says free.
+    lost = next(a for a in range(2, fs.drive.shape.total_sectors())
+                if allocator.is_free(a) and a != BOOT_PAGE_ADDRESS)
+    allocator.mark_busy(lost)
+    # The other drift: the map says free, the label says in use.
+    used = next(a for a in range(2, fs.drive.shape.total_sectors())
+                if not allocator.is_free(a)
+                and fs.drive.read_label(a).in_use)
+    allocator.mark_free(used)
+    report = OnlineMaintenance(fs).run_to_completion()
+    assert report.map_freed >= 1
+    assert report.map_busied >= 1
+    assert allocator.is_free(lost)
+    assert not allocator.is_free(used)
+
+
+def test_sweep_frees_garbage_labels_and_tolerates_them_as_baseline():
+    fs = build_fs()
+    planted = plant_garbage(fs, count=3)
+    assert any(i.kind == "garbage-label" for i in check_image(fs.drive.image).issues)
+    # "garbage-label" is NOT in the tolerated kinds -- only the baseline
+    # capture keeps the first boundary from declaring the patrol guilty
+    # of damage it merely inherited.
+    report = OnlineMaintenance(fs).run_to_completion()
+    assert report.garbage_labels_freed == 3
+    for address in planted:
+        assert fs.allocator.is_free(address)
+    assert not check_image(fs.drive.image).issues
+
+
+def test_new_damage_past_the_baseline_is_fatal():
+    fs = build_fs()
+    maint = OnlineMaintenance(fs)
+    assert maint.step()                       # baseline captured clean
+    plant_garbage(fs, count=1)                # damage appears *after* it
+    with pytest.raises(MaintenanceInvariantError):
+        maint.run_to_completion()
+
+
+def test_compaction_moves_pages_down_without_breaking_files():
+    fs = build_fs(files=6)
+    # Free the low end of the pack so the top has somewhere to go.
+    for i in range(3):
+        fs.delete_file(f"f{i}.dat")
+    maint = OnlineMaintenance(fs)
+    report = maint.run_to_completion()
+    assert report.pages_moved > 0
+    for i in range(3, 6):
+        assert fs.open_file(f"f{i}.dat").read_data() == bytes([i]) * (600 + 100 * i)
+    assert not check_image(fs.drive.image).issues
+
+
+def test_continuous_patrol_restarts_after_done():
+    fs = build_fs()
+    maint = OnlineMaintenance(fs, continuous=True)
+    slices = 0
+    while maint.report.passes < 2:
+        assert maint.step()                   # a patrol never reports done
+        slices += 1
+        assert slices < 10_000
+    assert maint.report.passes == 2
+    assert maint.report.sectors_audited >= 2 * fs.drive.shape.total_sectors()
+
+
+def test_one_shot_maintenance_stays_done():
+    fs = build_fs()
+    maint = OnlineMaintenance(fs)
+    maint.run_to_completion()
+    assert maint.step() is False
+    assert maint.report.passes == 1
+
+
+def test_maintenance_interleaves_with_request_service():
+    from repro.net import PacketNetwork
+    from repro.server import FileClient, FileServer
+
+    fs = build_fs(files=0)
+    plant_garbage(fs, count=2)
+    net = PacketNetwork(clock=fs.drive.clock)
+    net.attach("fileserver")
+    net.attach("ws")
+    server = FileServer(fs, net)
+    server.maintenance = OnlineMaintenance(fs)
+    client = FileClient(net, "ws", pump=server.poll)
+    # Requests are served while slices run between poll cycles.
+    for i in range(4):
+        client.write_file(f"live{i}.txt", bytes([0x40 + i]) * 900)
+    while server.maintenance.step():
+        pass
+    for i in range(4):
+        assert client.read_file(f"live{i}.txt") == bytes([0x40 + i]) * 900
+    report = server.maintenance.report
+    assert report.garbage_labels_freed == 2
+    assert report.checks_passed > 0
+    assert not check_image(fs.drive.image).issues
