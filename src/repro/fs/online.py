@@ -212,6 +212,29 @@ class OnlineMaintenance:
         # into the next one on the following step.
         return self.continuous or self.phase != PHASE_DONE
 
+    def attach(self, server) -> "OnlineMaintenance":
+        """Register this maintainer as *server*'s background timer.
+
+        The event-driven engine runs maintenance as a self-re-arming
+        event on its :class:`~repro.server.events.EventQueue`: assigning
+        ``server.maintenance`` arms it, and one bounded slice then fires
+        at the end of every poll cycle.  This is the same wiring as
+        ``server.maintenance = maint``, returned for chaining.
+
+        >>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+        >>> from repro.net import PacketNetwork
+        >>> from repro.server import FileServer
+        >>> fs = FileSystem.format(DiskDrive(DiskImage(tiny_test_disk())))
+        >>> net = PacketNetwork(clock=fs.drive.clock)
+        >>> net.attach("fileserver")
+        >>> server = FileServer(fs, net)
+        >>> maint = OnlineMaintenance(fs).attach(server)
+        >>> server.maintenance is maint
+        True
+        """
+        server.maintenance = self
+        return self
+
     def run_to_completion(self, max_slices: Optional[int] = None) -> MaintenanceReport:
         """Step until done (a convenience for tests and benches)."""
         remaining = max_slices

@@ -120,6 +120,40 @@ class PacketNetwork:
         if clock is not None:
             self._clocks[host] = clock
 
+    def detach(self, host: str) -> int:
+        """Unplug *host*: its queue (and clock binding) are dropped.
+
+        Returns how many undelivered packets died with the queue.  After
+        a detach, sends to the host raise :class:`NetworkError` again --
+        the server's eviction path (``server.sessions_evicted``) is what
+        keeps a disconnected client's queued requests from pinning
+        admission slots forever.
+
+        >>> net = PacketNetwork()
+        >>> net.attach("a"); net.attach("b")
+        >>> _ = net.send(Packet("a", "b", TYPE_DATA, (1,)))
+        >>> net.detach("b")
+        1
+        >>> net.attached("b")
+        False
+        """
+        queue = self._queues.pop(host, None)
+        if queue is None:
+            raise NetworkError(f"unknown host {host!r}")
+        self._limits.pop(host, None)
+        self._clocks.pop(host, None)
+        return len(queue)
+
+    def attached(self, host: str) -> bool:
+        """True while *host* has a live receive queue.
+
+        >>> net = PacketNetwork()
+        >>> net.attach("a")
+        >>> net.attached("a"), net.attached("ghost")
+        (True, False)
+        """
+        return host in self._queues
+
     def host_clock(self, host: str) -> Optional[SimClock]:
         """The clock bound at :meth:`attach` time, or None.
 

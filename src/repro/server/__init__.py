@@ -1,14 +1,19 @@
 """``repro.server`` -- the concurrent multi-client file-server subsystem.
 
 Section 5.2's file-server configuration, promoted from an example into a
-first-class package: a deterministic, simulated-time request engine
-(:class:`~repro.server.engine.FileServer`) multiplexing many client
-sessions over a :class:`~repro.net.network.PacketNetwork` onto one
-:class:`~repro.fs.filesystem.FileSystem`, a framed wire protocol with
-error codes (:mod:`~repro.server.protocol`), per-session state with
-at-most-once retry semantics (:mod:`~repro.server.session`), a client
-with timeout and exponential backoff (:class:`~repro.server.client.FileClient`),
-and a seeded load generator (:mod:`~repro.server.loadgen`).
+first-class package: a deterministic, simulated-time, **event-driven**
+request engine (:class:`~repro.server.engine.FileServer`) multiplexing
+many client sessions over a :class:`~repro.net.network.PacketNetwork`
+onto one :class:`~repro.fs.filesystem.FileSystem` -- sessions sleep until
+a packet, timer, or flush wakes them, are scheduled under weighted QoS
+classes (:mod:`~repro.server.qos`), and are admitted through a graduated
+curve (:class:`~repro.server.qos.AdmissionCurve`) rather than a single
+cliff.  Around the engine: a framed wire protocol with error codes
+(:mod:`~repro.server.protocol`), per-session state with at-most-once
+retry semantics (:mod:`~repro.server.session`), a client with timeout and
+exponential backoff (:class:`~repro.server.client.FileClient`), and a
+seeded load generator (:mod:`~repro.server.loadgen`) that can hold ten
+thousand concurrent sessions open (:func:`~repro.server.loadgen.run_session_storm`).
 
 See ``SERVER.md`` for the wire-protocol specification and
 ``ARCHITECTURE.md`` for where the subsystem sits in the layer map.  The
@@ -28,13 +33,25 @@ b'served!'
 
 from .client import FileClient, PendingRequest
 from .engine import DEFAULT_MAX_PENDING, FileServer
+from .events import Event, EventQueue
 from .loadgen import (
     ClusterSystem,
     LoadGenerator,
     LoadResult,
     ServedSystem,
+    SessionStormResult,
     build_cluster,
     build_system,
+    run_session_storm,
+)
+from .polled import PolledFileServer
+from .qos import (
+    DEFAULT_QOS_WEIGHTS,
+    QOS_BULK,
+    QOS_CLASSES,
+    QOS_INTERACTIVE,
+    QOS_MAINTENANCE,
+    AdmissionCurve,
 )
 from .protocol import (
     FLAG_CREATE,
@@ -77,8 +94,12 @@ from .session import OpenHandle, Session
 from .shardmap import RebalancePlan, ShardMap, hash_name
 
 __all__ = [
+    "AdmissionCurve",
     "ClusterSystem",
     "DEFAULT_MAX_PENDING",
+    "DEFAULT_QOS_WEIGHTS",
+    "Event",
+    "EventQueue",
     "FLAG_CREATE",
     "FailoverReport",
     "FailoverSweepResult",
@@ -95,7 +116,12 @@ __all__ = [
     "OP_WRITE",
     "OpenHandle",
     "PendingRequest",
+    "PolledFileServer",
     "PromotionReport",
+    "QOS_BULK",
+    "QOS_CLASSES",
+    "QOS_INTERACTIVE",
+    "QOS_MAINTENANCE",
     "RebalancePlan",
     "ReplicaStandby",
     "ReplicatedFileServer",
@@ -112,6 +138,7 @@ __all__ = [
     "ST_TOO_LARGE",
     "ServedSystem",
     "Session",
+    "SessionStormResult",
     "ShardMap",
     "ShardRouter",
     "Shipment",
@@ -125,5 +152,6 @@ __all__ = [
     "merge_names",
     "promote",
     "recover_shipment",
+    "run_session_storm",
     "ship_names",
 ]

@@ -1,19 +1,31 @@
 """The request engine: many client sessions multiplexed onto one FileSystem.
 
-:class:`FileServer` is a deterministic, simulated-time, event-driven
-server.  ``poll()`` is the whole event loop: ingest packets into frames,
-admit frames under a bounded queue (rejecting the overflow with
-``ST_BUSY`` -- backpressure the client's retry/backoff absorbs), service
-the admitted requests in per-client round-robin order (fairness), and
-finish with **one** write-back flush covering every write the cycle
-performed -- so the dirty sectors of many requests drain through the
-elevator scheduler in a single sweep instead of one small drain per
-request.  That single-flush batching is where multiplexed serving beats
-sequential serving (see ``benchmarks/bench_server.py``).
+:class:`FileServer` is a deterministic, simulated-time, **event-driven**
+server.  ``poll()`` is one cycle of its event loop: drain the wire and
+wake the sessions packets arrived for, admit each frame under the
+:class:`~repro.server.qos.AdmissionCurve` (rejecting sheds with
+``ST_BUSY`` -- backpressure the client's retry/backoff absorbs), run the
+**ready queue** -- only sessions with admitted work are visited, in QoS
+class rotation with per-class request allowances -- then finish with
+**one** write-back flush covering every write the cycle performed and
+the timers of the :class:`~repro.server.events.EventQueue` (maintenance
+slices, and anything else scheduled against the simulated clock).
+
+Sessions with nothing queued **sleep**: they cost nothing per cycle, so
+one server holds ten thousand concurrent sessions and each poll's work
+is proportional to the *ready* set, not the session count (benchmark
+E17).  The single-flush batching is still where multiplexed serving
+beats sequential serving (see ``benchmarks/bench_server.py``), and the
+default configuration -- every client ``interactive``, cliff admission
+-- services requests in exactly the order the PR-5 round-robin loop did
+(:class:`~repro.server.polled.PolledFileServer` keeps that loop alive as
+the differential reference; ``tests/server/test_engine_equivalence.py``
+proves the equivalence).
 
 Everything is observable: each request runs under a ``server.request``
 span, and the engine keeps counters/gauges in the machine's metrics
-registry (``server.requests``, ``server.rejected``, ``server.queue.depth``,
+registry (``server.requests``, ``server.rejected``, ``server.wakeups``,
+``server.sessions_evicted``, ``server.queue.depth``,
 ``server.request_us``, ...; see OBSERVABILITY.md).
 
 >>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
@@ -32,8 +44,10 @@ b"an afternoon's user code"
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+import random
+from bisect import bisect_right
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..errors import (
     DirectoryError,
@@ -41,10 +55,12 @@ from ..errors import (
     FileNotFound,
     FileSystemError,
     ProtocolError,
+    ServerError,
 )
 from ..fs.file import FULL_PAGE
 from ..net.network import Packet, PacketNetwork
 from ..words import words_to_string
+from .events import EventQueue
 from .protocol import (
     FLAG_CREATE,
     FrameAssembler,
@@ -66,6 +82,12 @@ from .protocol import (
     ST_OK,
     encode_response,
 )
+from .qos import (
+    DEFAULT_QOS_WEIGHTS,
+    QOS_CLASSES,
+    QOS_INTERACTIVE,
+    AdmissionCurve,
+)
 
 #: Default bound on admitted-but-unserviced requests across all clients.
 DEFAULT_MAX_PENDING = 64
@@ -85,8 +107,12 @@ class FileServer:
 
     The server is passive: it runs only when :meth:`poll` is called, which
     keeps every run deterministic -- the interleaving is exactly the
-    caller's schedule.  ``quantum`` requests are serviced per client per
-    round-robin turn (default 1: strict alternation under load).
+    caller's schedule.  Scheduling is by QoS class: each visit to a class
+    may serve ``weight * quantum`` requests, round-robin over that class's
+    ready sessions in first-admission order.  With every client in the
+    default ``interactive`` class this degenerates to the PR-5 behaviour
+    exactly: ``quantum`` requests per client per turn, strict alternation
+    under load.
     """
 
     def __init__(
@@ -96,33 +122,61 @@ class FileServer:
         host: str = "fileserver",
         max_pending: int = DEFAULT_MAX_PENDING,
         quantum: int = 1,
+        admission: Optional[AdmissionCurve] = None,
+        qos_weights: Optional[Dict[str, int]] = None,
+        admission_seed: int = 1979,
     ) -> None:
         self.fs = fs
         self.network = network
         self.host = host
         self.max_pending = max_pending
         self.quantum = quantum
+        #: The admission policy; defaults to the hard cliff at
+        #: ``max_pending`` (byte-identical to the PR-5 engine).
+        self.admission = (admission if admission is not None
+                          else AdmissionCurve.cliff(max_pending))
+        #: Requests allowed per class visit, per unit of ``quantum``.
+        self.qos_weights = dict(DEFAULT_QOS_WEIGHTS if qos_weights is None
+                                else qos_weights)
         self.clock = fs.drive.clock
         self.obs = self.clock.obs
         self.assembler = FrameAssembler()
+        #: Timers keyed by the simulated clock, fired at the end of every
+        #: poll cycle (the maintenance slice rides here).
+        self.timers = EventQueue(self.clock)
         from .session import Session
 
         self._session_type = Session
         self.sessions: Dict[str, "Session"] = {}
-        #: Per-client admission queues, serviced round-robin.
-        self._queues: "OrderedDict[str, Deque[Tuple[Request, int]]]" = OrderedDict()
+        #: Per-client FIFOs of admitted work; a client has an entry only
+        #: while it has queued requests (otherwise its session sleeps).
+        self._queues: Dict[str, Deque[Tuple[Request, int]]] = {}
+        #: First-admission order, the round-robin tie-break: stable for a
+        #: client's lifetime so the schedule matches the polled engine.
+        self._client_seq: Dict[str, int] = {}
+        self._next_client_seq = 0
+        #: The ready queue: per-class sets of clients with queued work.
+        self._ready: Dict[str, Set[str]] = {cls: set() for cls in QOS_CLASSES}
+        #: Per-class scan cursor (last served client's seq; -1 = start).
+        self._cursor: Dict[str, int] = {cls: -1 for cls in QOS_CLASSES}
+        self._class_cursor = 0
+        self._qos: Dict[str, str] = {}
         self._pending = 0
-        #: Optional :class:`repro.fs.online.OnlineMaintenance`: when set, one
-        #: bounded maintenance slice runs at the end of every poll cycle,
-        #: interleaving scavenge/compaction with request service.
-        self.maintenance = None
+        self._in_cycle = False
+        self._rng = random.Random(f"admission:{admission_seed}:{host}")
+        self._maintenance = None
+        self._maint_event = None
         registry = self.obs.registry
         self._c_requests = registry.counter("server.requests")
         self._c_rejected = registry.counter("server.rejected")
+        self._c_shaped = registry.counter("server.shaped")
         self._c_replayed = registry.counter("server.replayed")
         self._c_errors = registry.counter("server.errors")
         self._c_flushes = registry.counter("server.flushes")
         self._c_polls = registry.counter("server.polls")
+        self._c_wakeups = registry.counter("server.wakeups")
+        self._c_evicted = registry.counter("server.sessions_evicted")
+        self._c_timer_events = registry.counter("server.timer_events")
         self._c_pages_read = registry.counter("server.pages_read")
         self._c_pages_written = registry.counter("server.pages_written")
         self._c_sessions = registry.counter("server.sessions")
@@ -135,36 +189,87 @@ class FileServer:
         self._h_service_us = registry.histogram("server.service_us")
 
     # ------------------------------------------------------------------------
+    # QoS and maintenance wiring
+    # ------------------------------------------------------------------------
+
+    def set_qos(self, client: str, qos: str) -> None:
+        """Assign *client* to a QoS class (default ``interactive``).
+
+        Takes effect immediately: queued work moves to the new class's
+        ready set, and the next admission decision uses the new class's
+        watermarks.
+
+        >>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+        >>> from repro.net import PacketNetwork
+        >>> fs = FileSystem.format(DiskDrive(DiskImage(tiny_test_disk())))
+        >>> net = PacketNetwork(clock=fs.drive.clock)
+        >>> net.attach("fileserver")
+        >>> server = FileServer(fs, net)
+        >>> server.set_qos("ws000", "bulk")
+        >>> server.qos_of("ws000")
+        'bulk'
+        """
+        if qos not in QOS_CLASSES:
+            raise ServerError(f"unknown QoS class {qos!r}")
+        old = self._qos.get(client, QOS_INTERACTIVE)
+        self._qos[client] = qos
+        if old != qos and client in self._ready[old]:
+            self._ready[old].discard(client)
+            self._ready[qos].add(client)
+        session = self.sessions.get(client)
+        if session is not None:
+            session.qos = qos
+
+    def qos_of(self, client: str) -> str:
+        """The QoS class *client* is admitted and scheduled under."""
+        return self._qos.get(client, QOS_INTERACTIVE)
+
+    @property
+    def maintenance(self):
+        """Optional :class:`repro.fs.online.OnlineMaintenance`: when set,
+        one bounded maintenance slice runs as a self-re-arming timer at
+        the end of every poll cycle, interleaving scavenge/compaction
+        with request service."""
+        return self._maintenance
+
+    @maintenance.setter
+    def maintenance(self, maint) -> None:
+        self._maintenance = maint
+        if maint is not None and self._maint_event is None:
+            self._maint_event = self.timers.at(
+                self.clock.now_us, self._maintenance_tick, label="maintenance")
+
+    def _maintenance_tick(self) -> None:
+        """One maintenance slice, re-armed for the next cycle."""
+        self._maint_event = None
+        if self._maintenance is None:
+            return
+        self._maintenance.step()
+        self._maint_event = self.timers.at(
+            self.clock.now_us, self._maintenance_tick, label="maintenance")
+
+    # ------------------------------------------------------------------------
     # The event loop
     # ------------------------------------------------------------------------
 
     def poll(self, budget: Optional[int] = None) -> int:
         """Run one event-loop cycle; returns the number of requests served.
 
-        Ingest -> admit -> service round-robin (up to *budget* requests)
-        -> one batched flush.  Requests left unserviced by a budget stay
-        queued for the next cycle.
+        Ingest (wake sessions packets arrived for) -> admit under the
+        curve -> run the ready queue (up to *budget* requests) -> one
+        batched flush -> fire due timers.  Requests left unserviced by a
+        budget stay queued for the next cycle, and the class/session
+        cursors persist so a budgeted backlog drains fairly.
         """
         self._c_polls.inc()
+        self._before_cycle()
         self.clock.advance_us(POLL_CPU_US, "server.cpu")
         self._ingest()
-        served = 0
-        wrote = False
-        while self._pending and (budget is None or served < budget):
-            for client in list(self._queues):
-                queue = self._queues.get(client)
-                if not queue:
-                    continue
-                for _ in range(min(self.quantum, len(queue))):
-                    if budget is not None and served >= budget:
-                        break
-                    request, admitted_us = queue.popleft()
-                    self._pending -= 1
-                    self._g_depth.set(self._pending)
-                    wrote |= self._service(client, request, admitted_us)
-                    served += 1
-            if budget is not None and served >= budget:
-                break
+        self._in_cycle = True
+        try:
+            served, wrote = self._run_scheduler(budget)
+        finally:
+            self._in_cycle = False
         if wrote:
             with self.obs.span("server.flush", "server"):
                 drained = self.fs.flush()
@@ -173,12 +278,32 @@ class FileServer:
                 for handle in session.handles.values():
                     handle.wrote = False
             del drained
-        if self.maintenance is not None:
-            self.maintenance.step()
+        fired = self.timers.fire_due()
+        if fired:
+            self._c_timer_events.inc(fired)
+        self._after_cycle()
         return served
 
+    def _before_cycle(self) -> None:
+        """Subclass hook run first thing in :meth:`poll` (replication
+        pumps standby acknowledgements here)."""
+
+    def _after_cycle(self) -> None:
+        """Subclass hook run at the very end of a successful :meth:`poll`
+        (replication ships the cycle's journal and sets the barrier
+        here).  Not reached when the cycle raises -- a crashed primary
+        must not ship a journal tail for work it never acknowledged."""
+
+    def has_work(self) -> bool:
+        """True when a poll cycle would do something: packets waiting,
+        admitted work queued, or timers armed (a maintenance patrol keeps
+        its shard polling).  The router skips idle shards on this."""
+        return bool(self._pending
+                    or self.network.pending(self.host)
+                    or len(self.timers))
+
     def _ingest(self) -> None:
-        """Drain the receive queue; admit complete frames or reject busy."""
+        """Drain the receive queue; admit complete frames or shed busy."""
         while True:
             packet = self.network.receive(self.host)
             if packet is None:
@@ -194,14 +319,154 @@ class FileServer:
             if not isinstance(frame, Request):
                 self._c_errors.inc()
                 continue
-            if self._pending >= self.max_pending:
+            if not self.network.attached(source):
+                # The sender unplugged while its frame was on the wire:
+                # nothing to answer, and whatever it held is reaped.
+                self._evict(source)
+                continue
+            qos = self._qos.get(source, QOS_INTERACTIVE)
+            if not self.admission.admit(self._pending, qos, self._rng):
                 self._c_rejected.inc()
+                low, high = self.admission.watermarks.get(
+                    qos, self.admission.watermarks[QOS_INTERACTIVE])
+                if self._pending < high:
+                    self._c_shaped.inc()
                 self._respond(source, Response(ST_BUSY, frame.request_id))
                 continue
-            self._queues.setdefault(source, deque()).append(
-                (frame, self.clock.now_us))
-            self._pending += 1
+            self._enqueue(source, frame, qos)
+
+    def _enqueue(self, client: str, request: Request, qos: str) -> None:
+        """Admit one request; wakes the client's session if it slept."""
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+            if client not in self._client_seq:
+                self._client_seq[client] = self._next_client_seq
+                self._next_client_seq += 1
+            self._ready[qos].add(client)
+        queue.append((request, self.clock.now_us))
+        self._pending += 1
+        self._g_depth.set(self._pending)
+
+    def _evict(self, client: str) -> None:
+        """Reap a disconnected client: queued work, ready entry, session.
+
+        Called when a wakeup (or an in-flight frame) finds the client's
+        host detached from the network -- without it, a dead client's
+        admitted requests would pin admission slots forever.
+        """
+        queue = self._queues.pop(client, None)
+        had_state = self.sessions.pop(client, None) is not None
+        if queue:
+            self._pending -= len(queue)
             self._g_depth.set(self._pending)
+            had_state = True
+        for cls in QOS_CLASSES:
+            ready = self._ready[cls]
+            ready.discard(client)
+            if not ready:
+                self._cursor[cls] = -1
+        if had_state:
+            self._c_evicted.inc()
+
+    # ------------------------------------------------------------------------
+    # The ready-queue scheduler
+    # ------------------------------------------------------------------------
+
+    def _run_scheduler(self, budget: Optional[int]) -> Tuple[int, bool]:
+        """Serve the ready queue: class rotation, weighted allowances.
+
+        Visits QoS classes round-robin (cursor persists across polls);
+        each visit serves up to ``weight * quantum`` requests from that
+        class's ready sessions in first-admission order, ``quantum`` per
+        session wakeup.  Cursors reset when a class drains, so a poll
+        that empties the backlog leaves the schedule exactly where the
+        polled engine's fixed scan would start it.
+        """
+        served = 0
+        wrote = False
+        # The cycle's scan order per class: admissions happen only in
+        # ingest, so the ready sets can shrink but never grow mid-cycle.
+        order: Dict[str, List[str]] = {}
+        position: Dict[str, int] = {}
+        for cls in QOS_CLASSES:
+            if not self._ready[cls]:
+                continue
+            ranked = sorted(self._ready[cls],
+                            key=self._client_seq.__getitem__)
+            order[cls] = ranked
+            seqs = [self._client_seq[c] for c in ranked]
+            position[cls] = bisect_right(seqs, self._cursor[cls]) % len(ranked)
+        classes = QOS_CLASSES
+        while self._pending and (budget is None or served < budget):
+            progressed = False
+            for _ in range(len(classes)):
+                cls = classes[self._class_cursor]
+                self._class_cursor = (self._class_cursor + 1) % len(classes)
+                if not self._ready[cls] or cls not in order:
+                    continue
+                count, class_wrote = self._serve_class(
+                    cls, order[cls], position, budget, served)
+                served += count
+                wrote |= class_wrote
+                progressed |= count > 0
+                if not self._pending or (budget is not None
+                                         and served >= budget):
+                    break
+            if not progressed:
+                # A full rotation served nothing: whatever remained was
+                # reaped by eviction (which already dropped the pending
+                # count), so there is nothing left to schedule.
+                break
+        return served, wrote
+
+    def _serve_class(self, cls: str, ranked: List[str],
+                     position: Dict[str, int], budget: Optional[int],
+                     served_so_far: int) -> Tuple[int, bool]:
+        """One class visit: up to ``weight * quantum`` requests."""
+        allowance = max(1, self.qos_weights.get(cls, 1)) * self.quantum
+        ready = self._ready[cls]
+        served = 0
+        wrote = False
+        scanned = 0
+        total = len(ranked)
+        while ready and served < allowance and scanned < 2 * total:
+            if budget is not None and served_so_far + served >= budget:
+                break
+            index = position[cls] % total
+            position[cls] = index + 1
+            client = ranked[index]
+            scanned += 1
+            if client not in ready:
+                continue
+            scanned = 0
+            if not self.network.attached(client):
+                self._evict(client)
+                continue
+            self._c_wakeups.inc()
+            queue = self._queues[client]
+            turns = min(self.quantum, len(queue), allowance - served)
+            if budget is not None:
+                turns = min(turns, budget - served_so_far - served)
+            for _ in range(turns):
+                request, admitted_us = self._take(client, cls, queue)
+                wrote |= self._service(client, request, admitted_us)
+                served += 1
+            self._cursor[cls] = self._client_seq[client]
+            if not ready:
+                self._cursor[cls] = -1
+        return served, wrote
+
+    def _take(self, client: str, cls: str,
+              queue: Deque[Tuple[Request, int]]) -> Tuple[Request, int]:
+        """Pop one admitted request; puts a drained session back to sleep."""
+        request, admitted_us = queue.popleft()
+        self._pending -= 1
+        self._g_depth.set(self._pending)
+        if not queue:
+            del self._queues[client]
+            self._ready[cls].discard(client)
+        return request, admitted_us
 
     # ------------------------------------------------------------------------
     # Request service
@@ -211,8 +476,10 @@ class FileServer:
         """Execute one admitted request; returns True when it wrote."""
         session = self.sessions.get(client)
         if session is None:
-            session = self.sessions[client] = self._session_type(client)
+            session = self.sessions[client] = self._session_type(
+                client, qos=self._qos.get(client, QOS_INTERACTIVE))
             self._c_sessions.inc()
+        session.last_wake_us = self.clock.now_us
         cached = session.replay(request.request_id)
         if cached is not None:
             self._c_replayed.inc()
@@ -389,6 +656,12 @@ class FileServer:
     def pending(self) -> int:
         """Admitted-but-unserviced requests (the router's window input)."""
         return self._pending
+
+    @property
+    def ready_sessions(self) -> int:
+        """Sessions with queued work -- what one poll cycle's cost scales
+        with (sleeping sessions are free)."""
+        return len(self._queues)
 
     def stats(self) -> Dict[str, int]:
         """The server's own counters out of the unified snapshot."""

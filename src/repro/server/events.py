@@ -1,0 +1,149 @@
+"""A deterministic timer wheel keyed by the simulated clock.
+
+The event-driven engine sleeps sessions that have nothing queued and
+wakes them on three signals: a packet (handled by the engine's ingest
+path), a **timer** (this module), and a flush completion (the engine's
+cycle hooks).  :class:`EventQueue` is the timer half: callbacks
+scheduled at absolute simulated microseconds, fired in ``(due, seq)``
+order by :meth:`EventQueue.fire_due` -- the sequence number breaks ties
+by scheduling order, so two runs with the same schedule fire the same
+callbacks in the same order, which is what keeps the engine's
+byte-identical-per-seed proof alive.
+
+Recurring work re-arms itself from its own callback: a callback that
+schedules a new event (even one already due) runs on the *next*
+``fire_due``, never the current one -- ``fire_due`` snapshots the due
+set before running anything, so a self-re-arming maintenance slice runs
+exactly once per poll cycle.
+
+>>> from repro.clock import SimClock
+>>> clock = SimClock()
+>>> timers = EventQueue(clock)
+>>> fired = []
+>>> _ = timers.after(100, lambda: fired.append("tick"), label="demo")
+>>> timers.fire_due()                       # not due yet
+0
+>>> clock.advance_us(100, "test")
+>>> timers.fire_due()
+1
+>>> fired
+['tick']
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class Event:
+    """One scheduled callback; cancel it via :meth:`EventQueue.cancel`.
+
+    >>> from repro.clock import SimClock
+    >>> queue = EventQueue(SimClock())
+    >>> event = queue.at(50, lambda: None, label="lease-expiry")
+    >>> event.due_us, event.label, event.cancelled
+    (50, 'lease-expiry', False)
+    """
+
+    __slots__ = ("due_us", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, due_us: int, seq: int,
+                 callback: Callable[[], None], label: str) -> None:
+        self.due_us = due_us
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.due_us, self.seq) < (other.due_us, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else f"due={self.due_us}"
+        return f"Event({self.label!r}, {state})"
+
+
+class EventQueue:
+    """Timers for one simulated machine, fired inside its poll cycle.
+
+    The queue never advances the clock itself -- the engine owns time;
+    ``fire_due`` simply runs everything whose deadline the clock has
+    already passed.  Cancelled events stay in the heap until they
+    surface (lazy deletion) and are skipped.
+
+    >>> from repro.clock import SimClock
+    >>> clock = SimClock()
+    >>> queue = EventQueue(clock)
+    >>> event = queue.at(10, lambda: None)
+    >>> queue.next_due_us
+    10
+    >>> queue.cancel(event)
+    >>> clock.advance_us(10, "test")
+    >>> queue.fire_due(), len(queue)
+    (0, 0)
+    """
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+        self._heap: List[Event] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def at(self, due_us: int, callback: Callable[[], None],
+           label: str = "timer") -> Event:
+        """Schedule *callback* at absolute simulated time *due_us*."""
+        event = Event(due_us, self._next_seq, callback, label)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def after(self, delay_us: int, callback: Callable[[], None],
+              label: str = "timer") -> Event:
+        """Schedule *callback* *delay_us* simulated microseconds from now.
+
+        >>> from repro.clock import SimClock
+        >>> queue = EventQueue(SimClock())
+        >>> queue.after(25, lambda: None).due_us
+        25
+        """
+        return self.at(self.clock.now_us + delay_us, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Unschedule *event*; firing a cancelled event is a no-op."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    @property
+    def next_due_us(self) -> Optional[int]:
+        """The earliest live deadline, or None when nothing is scheduled."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].due_us if self._heap else None
+
+    def fire_due(self) -> int:
+        """Run every live callback due at or before the clock's now.
+
+        The due set is snapshotted first: a callback that re-arms itself
+        (or schedules anything else already due) fires on the next call,
+        not this one.  Returns the number of callbacks run.
+        """
+        now = self.clock.now_us
+        due: List[Event] = []
+        while self._heap and self._heap[0].due_us <= now:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            due.append(event)
+        for event in due:
+            event.callback()
+        return len(due)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __repr__(self) -> str:
+        return f"EventQueue(live={self._live}, next={self.next_due_us})"

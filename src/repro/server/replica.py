@@ -439,20 +439,24 @@ class ReplicatedFileServer(FileServer):
         self._held: Deque[_HeldResponse] = deque()
         self._held_rids: Set[Tuple[str, int]] = set()
         self._cycle: List[_HeldResponse] = []
-        self._in_cycle = False
         registry = self.obs.registry
         self._c_released = registry.counter("server.repl.released")
         self._c_suppressed = registry.counter("server.repl.suppressed")
         self._g_held = registry.gauge("server.repl.held")
 
-    def poll(self, budget: Optional[int] = None) -> int:
+    # The standby ack is just another event in the engine's cycle: the
+    # pre-cycle hook pumps acknowledgements off the link and releases
+    # whatever they unlock, the post-cycle hook ships the cycle's journal
+    # and sets the barrier.  The post hook is skipped when the cycle
+    # raises (the engine's contract), so a crashed primary never ships a
+    # journal tail for work it did not acknowledge -- the same property
+    # the old hand-rolled poll() override had.
+
+    def _before_cycle(self) -> None:
         self.replication.pump_acks()
         self._release_ready()
-        self._in_cycle = True
-        try:
-            served = super().poll(budget)
-        finally:
-            self._in_cycle = False
+
+    def _after_cycle(self) -> None:
         self.replication.ship()
         barrier = self.replication.last_seq
         for held in self._cycle:
@@ -461,7 +465,14 @@ class ReplicatedFileServer(FileServer):
             self._held_rids.add((held.client, held.request_id))
         self._cycle.clear()
         self._release_ready()
-        return served
+
+    def has_work(self) -> bool:
+        """Idle only when nothing is gated: no held responses, no
+        unacked journal, no acks waiting on the replication link."""
+        return bool(super().has_work()
+                    or self._held
+                    or self.replication.standby_lag > 0
+                    or self.network.pending(self.replication.host))
 
     def _release_ready(self) -> None:
         """Send every held response whose barrier the standby has acked."""
@@ -469,8 +480,9 @@ class ReplicatedFileServer(FileServer):
         while self._held and self._held[0].barrier <= acked:
             held = self._held.popleft()
             self._held_rids.discard((held.client, held.request_id))
-            for packet in held.packets:
-                self.network.send(packet)
+            if self.network.attached(held.client):
+                for packet in held.packets:
+                    self.network.send(packet)
             self._c_released.inc()
         self._g_held.set(len(self._held))
 

@@ -248,7 +248,9 @@ class ShardRouter:
         #: service; their uplink wire time is accounting, not elapsed
         #: time, so the front door binds a clock that is never merged
         #: back.  The payload's wire cost lands on the owning shard's
-        #: link when the frame is forwarded (cut-through switching).
+        #: link when the frame is forwarded (cut-through switching), and
+        #: the response's client-facing relay lands back on this front
+        #: clock -- each side of the switch pays its own wire.
         self.front_clock = SimClock()
         network.attach(self.host, queue_limit=4096, clock=self.front_clock)
         self.assembler = FrameAssembler()
@@ -271,11 +273,13 @@ class ShardRouter:
         self._c_paused = registry.counter("router.paused")
         self._c_stale = registry.counter("router.stale")
         self._c_errors = registry.counter("router.errors")
+        self._c_shards_skipped = registry.counter("router.shards_skipped")
         self._g_pending = registry.gauge("router.pending")
         self.router_stats = RouterStats(registry)
         #: Scatter-gather fan-out sizes and per-request shard round trips
-        #: (forward to final shard response, on the producing shard's
-        #: link clock -- the cut-through relay charges the same clock).
+        #: (forward to final shard response, timestamped on the producing
+        #: shard's link clock; the client-facing relay itself is charged
+        #: to the front clock -- see :meth:`_relay`).
         self._h_scatter_fanout = registry.histogram("router.scatter_fanout")
         self._h_hop_us = registry.histogram("router.hop_us")
 
@@ -300,7 +304,13 @@ class ShardRouter:
         self._ingest()
         served = 0
         for shard in self.shards:
-            served += shard.poll(budget)
+            # Event dispatch, not a blind scan: a shard with no packets
+            # waiting, no admitted backlog, and no armed timers is asleep
+            # and costs the cycle nothing.
+            if shard.has_work():
+                served += shard.poll(budget)
+            else:
+                self._c_shards_skipped.inc()
         self._collect()
         self._rebalance_step()
         horizon = max(shard.clock.now_us for shard in self.shards)
@@ -312,6 +322,28 @@ class ShardRouter:
     def pending(self) -> int:
         """Requests currently in flight through the router."""
         return self._pending
+
+    def set_qos(self, client: str, qos: str) -> None:
+        """Assign *client* to a QoS class on every shard.
+
+        Shards see the router's per-client proxy host, so the class is
+        registered under the proxy name -- the client itself never
+        learns the cluster is sharded, QoS included.
+
+        >>> from repro import DiskDrive, DiskImage, FileSystem, tiny_test_disk
+        >>> from repro.net import PacketNetwork
+        >>> from repro.server import FileServer
+        >>> net = PacketNetwork()
+        >>> fs = FileSystem.format(DiskDrive(DiskImage(tiny_test_disk())))
+        >>> net.attach("shard00", clock=fs.drive.clock)
+        >>> router = ShardRouter([FileServer(fs, net, host="shard00")], net)
+        >>> router.set_qos("ws000", "bulk")
+        >>> router.shards[0].qos_of("fileserver.ws000")
+        'bulk'
+        """
+        proxy = f"{self.host}.{client}"
+        for shard in self.shards:
+            shard.set_qos(proxy, qos)
 
     # -- inbound: client frames ------------------------------------------------
 
@@ -462,6 +494,8 @@ class ShardRouter:
 
     def _collect(self) -> None:
         for state in list(self._states.values()):
+            if not self.network.pending(state.proxy):
+                continue        # a sleeping client costs the cycle nothing
             while True:
                 packet = self.network.receive(state.proxy)
                 if packet is None:
@@ -590,11 +624,23 @@ class ShardRouter:
 
     def _relay(self, state: _ClientState, response: Response, link: SimClock,
                remember: bool = True) -> None:
-        """Send a response to the client, charging the producing shard's
-        link (cut-through through the switch), and cache it for retries."""
+        """Send a response to the client on the switch's **downlink**
+        (the front clock), and cache it for retries.
+
+        The shard's link already carried this response once, shard to
+        proxy, on the shard's own clock; relaying it proxy-to-client is
+        the client-facing half of the switch, which -- like the client
+        uplink -- is accounting, not cluster elapsed time.  Charging it
+        to the shard again (as the PR-6 relay did) serialized every
+        response's wire time twice on the shard clock and was the single
+        largest term in the E15 capacity knee; moving it to the front
+        clock is what benchmark E17 measures.  *link* still timestamps
+        the hop histogram: the round trip is the shard's story.
+        """
+        del link  # the hop was observed by the caller; wire goes up front
         packets = encode_response(response, self.host, state.client)
         for packet in packets:
-            self.network.send(packet, clock=link)
+            self.network.send(packet, clock=self.front_clock)
         if remember:
             state.remember(response.request_id, packets)
 

@@ -7,8 +7,15 @@ of recent requests keyed by request id -- a retried request id is answered
 from the cache without re-executing, which is what makes client retries
 safe for non-idempotent operations like page appends.
 
+Under the event-driven engine a session also carries its QoS class (the
+scheduling and admission bucket -- see :mod:`repro.server.qos`) and the
+simulated time of its last wakeup; a session with nothing queued sleeps
+and costs the engine nothing per poll cycle.
+
 >>> from repro.server.session import Session
 >>> session = Session("workstation")
+>>> session.qos
+'interactive'
 >>> handle = session.grant(object(), "memo.txt")
 >>> handle, session.resolve(handle) is None
 (1, False)
@@ -52,8 +59,12 @@ class Session:
     has no half-open states because every request is a complete frame.
     """
 
-    def __init__(self, client: str) -> None:
+    def __init__(self, client: str, qos: str = "interactive") -> None:
         self.client = client
+        #: The QoS class this session is scheduled and admitted under.
+        self.qos = qos
+        #: Simulated time the engine last woke this session for service.
+        self.last_wake_us = 0
         self.handles: "OrderedDict[int, OpenHandle]" = OrderedDict()
         self._next_handle = 1
         self._replies: "OrderedDict[int, List]" = OrderedDict()

@@ -1,0 +1,51 @@
+"""Detach semantics: unplugging a host and what dies with its queue."""
+
+import pytest
+
+from repro.net import PacketNetwork
+from repro.net.network import NetworkError, Packet, TYPE_DATA
+
+
+def test_detach_drops_the_queue_and_reports_dead_packets():
+    net = PacketNetwork()
+    net.attach("a")
+    net.attach("b")
+    for _ in range(3):
+        assert net.send(Packet("a", "b", TYPE_DATA, (1,)))
+    assert net.detach("b") == 3
+    assert not net.attached("b")
+    with pytest.raises(NetworkError):
+        net.send(Packet("a", "b", TYPE_DATA, (2,)))
+    with pytest.raises(NetworkError):
+        net.receive("b")
+
+
+def test_detach_unknown_host_is_an_error():
+    net = PacketNetwork()
+    with pytest.raises(NetworkError):
+        net.detach("ghost")
+
+
+def test_detach_releases_the_bound_clock_and_the_name():
+    from repro.clock import SimClock
+
+    net = PacketNetwork()
+    own = SimClock()
+    net.attach("a", clock=own)
+    assert net.host_clock("a") is own
+    assert net.detach("a") == 0
+    assert net.host_clock("a") is None
+    net.attach("a")                                      # the name is free again
+    assert net.attached("a")
+    assert net.host_clock("a") is None                   # old binding gone
+
+
+def test_detached_host_can_still_be_a_source():
+    """Datagram semantics: a frame already holds its source name; only
+    the *destination* needs a live queue."""
+    net = PacketNetwork()
+    net.attach("a")
+    net.attach("b")
+    net.detach("a")
+    assert net.send(Packet("a", "b", TYPE_DATA, (9,)))
+    assert net.receive("b").payload == (9,)

@@ -1,0 +1,140 @@
+"""Unit tests for the engine's timer wheel and the admission curve."""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import ServerError
+from repro.server import (
+    AdmissionCurve,
+    EventQueue,
+    QOS_BULK,
+    QOS_CLASSES,
+    QOS_INTERACTIVE,
+    QOS_MAINTENANCE,
+)
+
+
+# -- EventQueue ----------------------------------------------------------------
+
+
+def test_events_fire_in_due_then_seq_order():
+    clock = SimClock()
+    queue = EventQueue(clock)
+    fired = []
+    queue.at(20, lambda: fired.append("late"))
+    queue.at(10, lambda: fired.append("early-first"))
+    queue.at(10, lambda: fired.append("early-second"))
+    clock.advance_us(20, "test")
+    assert queue.fire_due() == 3
+    assert fired == ["early-first", "early-second", "late"]
+
+
+def test_fire_due_only_runs_what_the_clock_has_passed():
+    clock = SimClock()
+    queue = EventQueue(clock)
+    fired = []
+    queue.at(5, lambda: fired.append("due"))
+    queue.at(50, lambda: fired.append("future"))
+    clock.advance_us(5, "test")
+    assert queue.fire_due() == 1
+    assert fired == ["due"]
+    assert len(queue) == 1
+    assert queue.next_due_us == 50
+
+
+def test_cancelled_events_never_fire_and_leave_the_count():
+    clock = SimClock()
+    queue = EventQueue(clock)
+    fired = []
+    keep = queue.at(10, lambda: fired.append("keep"))
+    drop = queue.at(10, lambda: fired.append("drop"))
+    queue.cancel(drop)
+    queue.cancel(drop)                                  # idempotent
+    assert len(queue) == 1
+    clock.advance_us(10, "test")
+    assert queue.fire_due() == 1
+    assert fired == ["keep"]
+    del keep
+
+
+def test_self_rearming_callback_runs_once_per_fire_due():
+    """The snapshot rule: re-arming inside a callback waits a cycle."""
+    clock = SimClock()
+    queue = EventQueue(clock)
+    ticks = []
+
+    def tick():
+        ticks.append(clock.now_us)
+        queue.at(clock.now_us, tick, label="rearm")     # already due!
+
+    queue.at(0, tick, label="rearm")
+    assert queue.fire_due() == 1                        # not an infinite loop
+    assert queue.fire_due() == 1
+    assert len(ticks) == 2
+
+
+def test_after_schedules_relative_to_now():
+    clock = SimClock()
+    clock.advance_us(1_000, "test")
+    queue = EventQueue(clock)
+    event = queue.after(250, lambda: None, label="lease")
+    assert event.due_us == 1_250
+    assert queue.next_due_us == 1_250
+
+
+# -- AdmissionCurve ------------------------------------------------------------
+
+
+def test_cliff_is_the_old_step_function_and_draw_free():
+    curve = AdmissionCurve.cliff(4)
+    assert curve.is_cliff
+    for qos in QOS_CLASSES:
+        # rng=None proves no probabilistic draw happens on this path.
+        assert [curve.admit(d, qos, None) for d in (0, 3, 4, 5)] == \
+            [True, True, False, False]
+
+
+def test_graduated_watermarks_shed_lower_classes_first():
+    curve = AdmissionCurve.graduated(100)
+    assert not curve.is_cliff
+    assert curve.watermarks[QOS_INTERACTIVE] == (75, 100)
+    assert curve.watermarks[QOS_BULK] == (50, 100)
+    assert curve.watermarks[QOS_MAINTENANCE] == (25, 100)
+    rng = random.Random(1979)
+    # At depth 60: below interactive's low (always in), inside bulk's
+    # band (sometimes in), above... maintenance's low (sheds hardest).
+    assert curve.admit(60, QOS_INTERACTIVE, rng)
+    bulk = [curve.admit(60, QOS_BULK, rng) for _ in range(400)]
+    maint = [curve.admit(60, QOS_MAINTENANCE, rng) for _ in range(400)]
+    assert 0 < sum(bulk) < 400 and 0 < sum(maint) < 400
+    assert sum(maint) < sum(bulk)                       # sheds earlier
+
+
+def test_graduated_band_is_deterministic_per_seed():
+    curve = AdmissionCurve.graduated(64)
+    draws = [
+        [curve.admit(40, QOS_BULK, random.Random(7)) for _ in range(1)][0]
+        for _ in range(3)
+    ]
+    assert len(set(draws)) == 1                         # same seed, same call
+
+
+def test_band_without_rng_is_an_error_not_a_silent_guess():
+    curve = AdmissionCurve.graduated(100)
+    with pytest.raises(ServerError):
+        curve.admit(60, QOS_BULK, None)
+
+
+def test_unknown_class_falls_back_to_interactive_watermarks():
+    curve = AdmissionCurve({QOS_INTERACTIVE: (2, 2)})
+    assert curve.admit(1, "no-such-class", None)
+    assert not curve.admit(2, "no-such-class", None)
+
+
+def test_bad_watermarks_are_rejected():
+    with pytest.raises(ServerError):
+        AdmissionCurve({QOS_BULK: (5, 3)})
+    with pytest.raises(ServerError):
+        AdmissionCurve({"turbo": (0, 1)})
